@@ -1,0 +1,94 @@
+"""Shared configuration of the benchmark harness.
+
+Every table and figure of the paper has a corresponding benchmark module in
+this directory.  Because the full SPEC CPU2000 sweep (40 traces x 5
+configurations x multiple phases) takes a while in pure Python, the harness
+runs a representative subset by default and scales up through environment
+variables:
+
+``REPRO_BENCH_FULL=1``
+    Run the complete trace list (all 26 integer + 14 floating-point traces).
+``REPRO_BENCH_SCALE=<float>``
+    Multiply the default trace length (2 500 µops per simulation point).
+``REPRO_BENCH_PHASES=<int>``
+    Number of PinPoints phases per benchmark (default 1).
+
+The reproduced rows are attached to each benchmark's ``extra_info`` so they
+appear in ``pytest-benchmark``'s JSON output, and are also printed so that
+``pytest benchmarks/ --benchmark-only -s`` shows the same tables the paper
+reports.  EXPERIMENTS.md records a full-scale run.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.runner import ExperimentSettings
+from repro.workloads.spec2000 import all_trace_names
+
+#: Default benchmark subset: a spread of regular / branchy / memory-bound
+#: integer traces and low- / high-ILP floating-point traces.
+DEFAULT_SUBSET = [
+    "164.gzip-1",
+    "176.gcc-1",
+    "181.mcf",
+    "186.crafty",
+    "197.parser",
+    "255.vortex-1",
+    "178.galgel",
+    "171.swim",
+    "188.ammp",
+    "200.sixtrack",
+]
+
+
+def bench_scale() -> float:
+    """Trace-length multiplier from ``REPRO_BENCH_SCALE``."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def bench_phases() -> int:
+    """Phases per benchmark from ``REPRO_BENCH_PHASES``."""
+    return int(os.environ.get("REPRO_BENCH_PHASES", "1"))
+
+
+def bench_trace_length() -> int:
+    """Dynamic µops per simulation point."""
+    return max(500, int(2500 * bench_scale()))
+
+
+def benchmark_names() -> list[str]:
+    """The trace list to evaluate (subset by default, full with REPRO_BENCH_FULL=1)."""
+    if os.environ.get("REPRO_BENCH_FULL", "0") == "1":
+        return all_trace_names("all")
+    return list(DEFAULT_SUBSET)
+
+
+@pytest.fixture(scope="session")
+def two_cluster_settings() -> ExperimentSettings:
+    """Settings of the paper's base machine (2 clusters, 2 virtual clusters)."""
+    return ExperimentSettings(
+        num_clusters=2,
+        num_virtual_clusters=2,
+        trace_length=bench_trace_length(),
+        max_phases=bench_phases(),
+    )
+
+
+@pytest.fixture(scope="session")
+def four_cluster_settings() -> ExperimentSettings:
+    """Settings of the scalability machine (4 clusters)."""
+    return ExperimentSettings(
+        num_clusters=4,
+        num_virtual_clusters=4,
+        trace_length=bench_trace_length(),
+        max_phases=bench_phases(),
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_benchmarks() -> list[str]:
+    """Trace names evaluated by the figure benchmarks."""
+    return benchmark_names()

@@ -1,0 +1,85 @@
+"""Micro-benchmarks of the substrate itself (not a paper figure).
+
+These time the main building blocks -- simulator throughput, trace
+generation, the compile-time passes -- so performance regressions in the
+substrate are visible independently of the figure-level benchmarks.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.processor import ClusteredProcessor
+from repro.partition.rhop_partitioner import RhopPartitioner
+from repro.partition.vc_partitioner import VirtualClusterPartitioner
+from repro.steering.occupancy import OccupancyAwareSteering
+from repro.steering.virtual_cluster import VirtualClusterSteering
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.spec2000 import profile_for
+
+TRACE_LENGTH = 4000
+
+
+def _trace(benchmark_name="164.gzip-1"):
+    generator = WorkloadGenerator(profile_for(benchmark_name))
+    return generator.generate_trace(TRACE_LENGTH, phase=0)
+
+
+def test_simulator_throughput_op(benchmark):
+    """µop throughput of the cycle simulator under the OP policy."""
+    _, trace = _trace()
+    config = ClusterConfig(num_clusters=2)
+
+    def run():
+        return ClusteredProcessor(config, OccupancyAwareSteering()).run(trace)
+
+    metrics = benchmark(run)
+    benchmark.extra_info["uops_per_run"] = len(trace)
+    benchmark.extra_info["ipc"] = round(metrics.ipc, 3)
+    assert metrics.committed_uops == len(trace)
+
+
+def test_simulator_throughput_vc(benchmark):
+    """µop throughput under the hybrid VC policy (annotated program)."""
+    program, trace = _trace()
+    VirtualClusterPartitioner(2).annotate_program(program)
+    config = ClusterConfig(num_clusters=2)
+
+    def run():
+        return ClusteredProcessor(config, VirtualClusterSteering(2)).run(trace)
+
+    metrics = benchmark(run)
+    benchmark.extra_info["uops_per_run"] = len(trace)
+    assert metrics.committed_uops == len(trace)
+
+
+def test_trace_generation_throughput(benchmark):
+    """Cost of synthesising a 4 000-µop trace from a SPEC profile."""
+    generator = WorkloadGenerator(profile_for("176.gcc-1"))
+
+    def run():
+        return generator.generate_trace(TRACE_LENGTH, phase=0)
+
+    program, trace = benchmark(run)
+    assert len(trace) >= TRACE_LENGTH
+
+
+def test_vc_partitioner_throughput(benchmark):
+    """Cost of the Figure 2 compile-time pass over a whole program."""
+    program = WorkloadGenerator(profile_for("178.galgel")).generate_program(0)
+
+    def run():
+        return VirtualClusterPartitioner(2).annotate_program(program)
+
+    report = benchmark(run)
+    assert report.num_instructions == program.num_instructions
+
+
+def test_rhop_partitioner_throughput(benchmark):
+    """Cost of the RHOP multilevel partitioning pass over a whole program."""
+    program = WorkloadGenerator(profile_for("178.galgel")).generate_program(0)
+
+    def run():
+        return RhopPartitioner(2).annotate_program(program)
+
+    report = benchmark(run)
+    assert report.num_instructions == program.num_instructions

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Run the full paper evaluation and write the tables used by EXPERIMENTS.md.
+
+This is the "full-scale" counterpart of the benchmark harness: all 40 SPEC
+CPU2000 traces, every Table 3 configuration, the 2-cluster and 4-cluster
+machines, and the Figure 6 trade-off summaries.  Results are written to
+``results/full_evaluation.txt``.
+
+Usage::
+
+    python scripts/run_full_evaluation.py [trace_length] [max_phases]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.figure6 import FIGURE6_COMPARISONS, run_figure6
+from repro.experiments.figure7 import run_figure7
+from repro.experiments.report import format_key_values, format_table
+from repro.experiments.runner import ExperimentRunner, ExperimentSettings
+from repro.experiments.table1 import run_table1
+
+
+def main() -> None:
+    trace_length = int(sys.argv[1]) if len(sys.argv) > 1 else 2500
+    max_phases = int(sys.argv[2]) if len(sys.argv) > 2 else 1
+    out_dir = Path(__file__).resolve().parent.parent / "results"
+    out_dir.mkdir(exist_ok=True)
+    out_path = out_dir / "full_evaluation.txt"
+    started = time.time()
+    sections = []
+
+    sections.append(format_table(run_table1(), title="Table 1 -- steering-unit complexity"))
+
+    settings2 = ExperimentSettings(
+        num_clusters=2, num_virtual_clusters=2, trace_length=trace_length, max_phases=max_phases
+    )
+    runner2 = ExperimentRunner(settings2)
+    figure5 = run_figure5(settings2, runner=runner2)
+    sections.append(format_table(figure5.benchmark_rows("int"), title="Figure 5(a) -- SPECint slowdown vs OP (%)"))
+    sections.append(format_table(figure5.benchmark_rows("fp"), title="Figure 5(b) -- SPECfp slowdown vs OP (%)"))
+    sections.append(format_table(figure5.averages_table(), title="Figure 5(c) -- average slowdown vs OP (%)"))
+
+    figure6 = run_figure6(settings2, runner=runner2)
+    for comparison in FIGURE6_COMPARISONS:
+        sections.append(
+            format_key_values(figure6.summary(comparison), title=f"Figure 6 -- VC vs {comparison} summary")
+        )
+
+    settings4 = ExperimentSettings(
+        num_clusters=4, num_virtual_clusters=4, trace_length=trace_length, max_phases=max_phases
+    )
+    figure7 = run_figure7(settings4)
+    sections.append(format_table(figure7.averages_table(), title="Figure 7(c) -- 4-cluster average slowdown vs OP (%)"))
+    sections.append(
+        f"VC(4->4) copies relative to VC(2->4): {figure7.copy_overhead_4to4_vs_2to4():+.1f} % (paper: +28 %)\n"
+    )
+
+    elapsed = time.time() - started
+    header = (
+        f"Full evaluation: trace_length={trace_length}, max_phases={max_phases}, "
+        f"elapsed={elapsed:.0f}s\n\n"
+    )
+    out_path.write_text(header + "\n".join(sections))
+    print(header)
+    print("\n".join(sections))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The offline environments this reproduction targets do not always ship the
+``wheel`` package that PEP 517 editable installs require; keeping a minimal
+``setup.py`` lets ``pip install -e . --no-build-isolation --no-use-pep517``
+(and plain ``python setup.py develop``) work everywhere.  All project
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,165 @@
+"""Command-line interface for the reproduction.
+
+Exposes the experiment drivers without writing any Python::
+
+    python -m repro.cli table1
+    python -m repro.cli quickstart --benchmark 178.galgel --trace-length 4000
+    python -m repro.cli figure5 --benchmarks 164.gzip-1 181.mcf --trace-length 2500
+    python -m repro.cli figure6 --benchmarks 164.gzip-1 178.galgel
+    python -m repro.cli figure7 --trace-length 2000
+    python -m repro.cli list-benchmarks --suite fp
+
+Every command prints the same plain-text tables the benchmark harness emits.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional, Sequence
+
+from repro import quick_comparison
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.figure6 import FIGURE6_COMPARISONS, run_figure6
+from repro.experiments.figure7 import run_figure7
+from repro.experiments.report import format_key_values, format_table
+from repro.experiments.runner import ExperimentSettings
+from repro.experiments.table1 import run_table1
+from repro.workloads.spec2000 import all_trace_names
+
+
+def _settings(args: argparse.Namespace, num_clusters: int, num_virtual_clusters: int) -> ExperimentSettings:
+    return ExperimentSettings(
+        num_clusters=num_clusters,
+        num_virtual_clusters=num_virtual_clusters,
+        trace_length=args.trace_length,
+        max_phases=args.phases,
+    )
+
+
+def _benchmarks(args: argparse.Namespace) -> Optional[List[str]]:
+    if getattr(args, "benchmarks", None):
+        unknown = [name for name in args.benchmarks if name not in all_trace_names("all")]
+        if unknown:
+            raise SystemExit(f"unknown benchmarks: {unknown}")
+        return list(args.benchmarks)
+    return None
+
+
+def _add_common_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace-length", type=int, default=2500, help="dynamic µops per simulation point"
+    )
+    parser.add_argument(
+        "--phases", type=int, default=1, help="PinPoints phases per benchmark (max 10)"
+    )
+    parser.add_argument(
+        "--benchmarks", nargs="*", default=None, help="trace names (default: the full suite)"
+    )
+
+
+def cmd_list_benchmarks(args: argparse.Namespace) -> str:
+    """``list-benchmarks``: print the available trace names."""
+    names = all_trace_names(args.suite)
+    return "\n".join(names) + "\n"
+
+
+def cmd_table1(args: argparse.Namespace) -> str:
+    """``table1``: steering-unit complexity comparison."""
+    rows = run_table1(num_virtual_clusters=args.virtual_clusters)
+    return format_table(rows, title="Table 1 -- steering-unit complexity")
+
+
+def cmd_quickstart(args: argparse.Namespace) -> str:
+    """``quickstart``: all five configurations on one benchmark."""
+    results = quick_comparison(args.benchmark, trace_length=args.trace_length)
+    baseline = results["OP"].cycles
+    rows = []
+    for name in ("OP", "one-cluster", "OB", "RHOP", "VC"):
+        metrics = results[name]
+        rows.append(
+            {
+                "configuration": name,
+                "cycles": metrics.cycles,
+                "slowdown vs OP (%)": 100.0 * (metrics.cycles / baseline - 1.0),
+                "IPC": metrics.ipc,
+                "copies": metrics.copies_generated,
+                "balance stalls": metrics.balance_stalls,
+            }
+        )
+    return format_table(rows, title=f"{args.benchmark}: Table 3 configurations")
+
+
+def cmd_figure5(args: argparse.Namespace) -> str:
+    """``figure5``: 2-cluster slowdown versus OP."""
+    result = run_figure5(_settings(args, 2, 2), benchmarks=_benchmarks(args))
+    out = [
+        format_table(result.benchmark_rows("int"), title="Figure 5(a) -- SPECint slowdown vs OP (%)"),
+        format_table(result.benchmark_rows("fp"), title="Figure 5(b) -- SPECfp slowdown vs OP (%)"),
+        format_table(result.averages_table(), title="Figure 5(c) -- average slowdown vs OP (%)"),
+    ]
+    return "\n".join(out)
+
+
+def cmd_figure6(args: argparse.Namespace) -> str:
+    """``figure6``: copy / balance trade-off summaries."""
+    result = run_figure6(_settings(args, 2, 2), benchmarks=_benchmarks(args))
+    out = []
+    for comparison in FIGURE6_COMPARISONS:
+        out.append(
+            format_key_values(result.summary(comparison), title=f"Figure 6 -- VC vs {comparison}")
+        )
+    return "\n".join(out)
+
+
+def cmd_figure7(args: argparse.Namespace) -> str:
+    """``figure7``: 4-cluster scalability study."""
+    result = run_figure7(_settings(args, 4, 4), benchmarks=_benchmarks(args))
+    out = [
+        format_table(result.averages_table(), title="Figure 7(c) -- 4-cluster average slowdown vs OP (%)"),
+        f"VC(4->4) copies relative to VC(2->4): {result.copy_overhead_4to4_vs_2to4():+.1f} % (paper: +28 %)\n",
+    ]
+    return "\n".join(out)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of the virtual-cluster hybrid steering paper (IPPS 2008).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser("list-benchmarks", help="list available trace names")
+    list_parser.add_argument("--suite", choices=("int", "fp", "all"), default="all")
+    list_parser.set_defaults(handler=cmd_list_benchmarks)
+
+    table1_parser = subparsers.add_parser("table1", help="steering-unit complexity (Table 1)")
+    table1_parser.add_argument("--virtual-clusters", type=int, default=2)
+    table1_parser.set_defaults(handler=cmd_table1)
+
+    quick_parser = subparsers.add_parser("quickstart", help="five configurations on one benchmark")
+    quick_parser.add_argument("--benchmark", default="164.gzip-1")
+    quick_parser.add_argument("--trace-length", type=int, default=3000)
+    quick_parser.set_defaults(handler=cmd_quickstart)
+
+    for name, handler, help_text in (
+        ("figure5", cmd_figure5, "2-cluster slowdown vs OP (Figure 5)"),
+        ("figure6", cmd_figure6, "copy/balance trade-off (Figure 6)"),
+        ("figure7", cmd_figure7, "4-cluster scalability (Figure 7)"),
+    ):
+        sub = subparsers.add_parser(name, help=help_text)
+        _add_common_options(sub)
+        sub.set_defaults(handler=handler)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point: parse arguments, run the selected command, print its report."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    print(args.handler(args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in examples
+    raise SystemExit(main())

@@ -1,0 +1,105 @@
+"""Per-cluster issue queues with ready lists.
+
+Every cluster has three issue queues (Table 2): a 48-entry integer queue
+issuing 2 µops/cycle, a 48-entry floating-point queue issuing 2 µops/cycle
+and a 24-entry copy queue issuing 1 copy/cycle.  Entries are allocated at
+dispatch and freed at issue.
+
+To keep the pure-Python simulation fast the queues are modelled as occupancy
+counters plus per-queue *ready heaps* ordered by sequence number (oldest
+first): only µops whose operands became ready are ever touched by the issue
+stage, instead of scanning all 48 entries every cycle (see the optimisation
+guidance referenced in DESIGN.md -- work proportional to state changes, not
+to structure sizes).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster.config import ClusterConfig
+from repro.uops.opcodes import IssueQueueKind
+
+
+class IssueQueues:
+    """Occupancy and ready-list management for all clusters of the machine."""
+
+    def __init__(self, config: ClusterConfig) -> None:
+        self.config = config
+        self.num_clusters = config.num_clusters
+        self._capacity = {
+            IssueQueueKind.INT: config.iq_int_size,
+            IssueQueueKind.FP: config.iq_fp_size,
+            IssueQueueKind.COPY: config.iq_copy_size,
+        }
+        self._issue_width = {
+            IssueQueueKind.INT: config.issue_int_width,
+            IssueQueueKind.FP: config.issue_fp_width,
+            IssueQueueKind.COPY: config.issue_copy_width,
+        }
+        #: Allocated (dispatched, not yet issued) entries per (cluster, kind).
+        self._occupancy: Dict[Tuple[int, IssueQueueKind], int] = {
+            (c, k): 0 for c in range(self.num_clusters) for k in IssueQueueKind
+        }
+        #: Ready µops per (cluster, kind), as (seq, µop record) heaps.
+        self._ready: Dict[Tuple[int, IssueQueueKind], List[Tuple[int, object]]] = {
+            (c, k): [] for c in range(self.num_clusters) for k in IssueQueueKind
+        }
+
+    # -- capacity ------------------------------------------------------------------
+    def capacity(self, kind: IssueQueueKind) -> int:
+        """Total entries of a ``kind`` queue (same in every cluster)."""
+        return self._capacity[kind]
+
+    def issue_width(self, kind: IssueQueueKind) -> int:
+        """Issue bandwidth of a ``kind`` queue per cycle."""
+        return self._issue_width[kind]
+
+    def occupancy(self, cluster: int, kind: IssueQueueKind) -> int:
+        """Currently allocated entries of the ``kind`` queue of ``cluster``."""
+        return self._occupancy[(cluster, kind)]
+
+    def free_entries(self, cluster: int, kind: IssueQueueKind) -> int:
+        """Free entries of the ``kind`` queue of ``cluster``."""
+        return self._capacity[kind] - self._occupancy[(cluster, kind)]
+
+    # -- dispatch/issue ---------------------------------------------------------------
+    def allocate(self, cluster: int, kind: IssueQueueKind) -> bool:
+        """Allocate one entry; return ``False`` (and allocate nothing) when full."""
+        key = (cluster, kind)
+        if self._occupancy[key] >= self._capacity[kind]:
+            return False
+        self._occupancy[key] += 1
+        return True
+
+    def release(self, cluster: int, kind: IssueQueueKind) -> None:
+        """Free one entry (at issue time)."""
+        key = (cluster, kind)
+        if self._occupancy[key] <= 0:
+            raise RuntimeError(f"releasing an empty issue queue {key}")
+        self._occupancy[key] -= 1
+
+    def push_ready(self, cluster: int, kind: IssueQueueKind, seq: int, record: object) -> None:
+        """Add a µop whose operands are all ready to the ready list."""
+        heapq.heappush(self._ready[(cluster, kind)], (seq, record))
+
+    def pop_ready(self, cluster: int, kind: IssueQueueKind) -> Optional[object]:
+        """Pop the oldest ready µop of the queue, or ``None`` when none is ready."""
+        heap = self._ready[(cluster, kind)]
+        if not heap:
+            return None
+        return heapq.heappop(heap)[1]
+
+    def peek_ready(self, cluster: int, kind: IssueQueueKind) -> Optional[object]:
+        """Oldest ready µop without removing it."""
+        heap = self._ready[(cluster, kind)]
+        return heap[0][1] if heap else None
+
+    def requeue_ready(self, cluster: int, kind: IssueQueueKind, seq: int, record: object) -> None:
+        """Put a µop back on the ready list (e.g. when a shared port was exhausted)."""
+        heapq.heappush(self._ready[(cluster, kind)], (seq, record))
+
+    def ready_count(self, cluster: int, kind: IssueQueueKind) -> int:
+        """Number of ready µops waiting in the queue."""
+        return len(self._ready[(cluster, kind)])

@@ -1,0 +1,502 @@
+"""The clustered out-of-order pipeline.
+
+:class:`ClusteredProcessor` ties the front end, the clustered back end, the
+memory hierarchy and a run-time steering policy together into a trace-driven,
+cycle-stepped simulation.  One simulated cycle performs, in order:
+
+1. **commit** -- retire completed µops in order from the ROB head,
+2. **writeback** -- process completion/arrival events scheduled for this
+   cycle, mark values ready and wake dependent µops,
+3. **issue** -- per cluster and per issue queue, issue the oldest ready µops
+   up to the queue's issue width (loads also compete for the shared L1 read
+   ports),
+4. **dispatch** -- steer, rename, generate copy µops and allocate resources
+   for the µops whose fetch-to-dispatch delay has elapsed,
+5. **fetch** -- pull µops from the trace into the dispatch buffer.
+
+The model follows Section 2 of the paper: once a µop is steered to a cluster
+it stays there; if an operand lives in another cluster an explicit copy µop
+is inserted in the *producing* cluster's copy queue and must traverse the
+point-to-point link before the consumer can issue.
+
+Performance note (see DESIGN.md): the simulator is cycle-stepped but all
+per-µop work is event-driven -- ready lists and waiter lists mean the inner
+loops only touch µops whose state changes, never the full contents of the
+48-entry issue queues, which keeps pure-Python simulation tractable.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.cluster.cache import MemoryHierarchy
+from repro.cluster.config import ClusterConfig
+from repro.cluster.interconnect import Interconnect
+from repro.cluster.issue_queue import IssueQueues
+from repro.cluster.lsq import LoadStoreQueue
+from repro.cluster.metrics import SimulationMetrics
+from repro.cluster.regfile import RegisterFiles
+from repro.cluster.rename import RegisterLocationTable, Value
+from repro.cluster.rob import ReorderBuffer
+from repro.steering.base import SteeringContext, SteeringPolicy
+from repro.uops.opcodes import IssueQueueKind
+from repro.uops.registers import DEFAULT_REGISTER_SPACE, RegisterSpace
+from repro.uops.uop import DynamicUop
+
+
+class _InFlight:
+    """Book-keeping record of one in-flight µop or copy µop."""
+
+    __slots__ = (
+        "order",
+        "uop",
+        "cluster",
+        "queue_kind",
+        "latency",
+        "pending",
+        "issued",
+        "completed",
+        "is_copy",
+        "copy_value",
+        "copy_target",
+        "dest_values",
+        "waiters",
+        "is_memory",
+        "is_load",
+        "address",
+        "dests",
+    )
+
+    def __init__(self, order: int, cluster: int, queue_kind: IssueQueueKind) -> None:
+        self.order = order
+        self.uop: Optional[DynamicUop] = None
+        self.cluster = cluster
+        self.queue_kind = queue_kind
+        self.latency = 1
+        self.pending = 0
+        self.issued = False
+        self.completed = False
+        self.is_copy = False
+        self.copy_value: Optional[Value] = None
+        self.copy_target = -1
+        self.dest_values: List[Value] = []
+        self.waiters: List["_InFlight"] = []
+        self.is_memory = False
+        self.is_load = False
+        self.address = 0
+        self.dests: Tuple[int, ...] = ()
+
+    def __lt__(self, other: "_InFlight") -> bool:  # pragma: no cover - heap tie-break
+        return self.order < other.order
+
+
+class ClusteredProcessor(SteeringContext):
+    """Cycle-level model of the clustered machine driven by a steering policy.
+
+    Parameters
+    ----------
+    config:
+        Architectural parameters (Table 2 defaults).
+    steering:
+        The run-time steering policy (one of :mod:`repro.steering`).
+    register_space:
+        Architectural register namespace of the traces to be executed.
+    """
+
+    def __init__(
+        self,
+        config: ClusterConfig,
+        steering: SteeringPolicy,
+        register_space: RegisterSpace = DEFAULT_REGISTER_SPACE,
+    ) -> None:
+        self.config = config
+        self.steering = steering
+        self.register_space = register_space
+        self._reset_state()
+
+    # ------------------------------------------------------------------ state --
+    def _reset_state(self) -> None:
+        config = self.config
+        self.cycle = 0
+        self.metrics = SimulationMetrics(num_clusters=config.num_clusters)
+        self.memory = MemoryHierarchy.from_config(config)
+        self.interconnect = Interconnect(
+            config.num_clusters, config.link_latency, config.copies_per_link_per_cycle
+        )
+        self.issue_queues = IssueQueues(config)
+        self.rob = ReorderBuffer(config.rob_size)
+        self.lsq = LoadStoreQueue(config.lsq_size)
+        self.regfiles = RegisterFiles(config, self.register_space)
+        self.rename = RegisterLocationTable(
+            self.register_space.total, config.num_clusters
+        )
+        self.steering.reset(config.num_clusters)
+        self._cluster_inflight = [0] * config.num_clusters
+        self._events: Dict[int, List[_InFlight]] = {}
+        self._dispatch_buffer: Deque[Tuple[int, DynamicUop]] = deque()
+        self._dispatch_buffer_cap = config.fetch_width * (config.fetch_to_dispatch_latency + 2)
+        self._trace_iter: Optional[Iterable[DynamicUop]] = None
+        self._trace_exhausted = False
+        self._order = 0
+        self._pending_redirect: Optional[_InFlight] = None
+        self._dispatch_blocked_until = 0
+        self._uops_in_flight = 0
+
+    # ------------------------------------------------ SteeringContext interface --
+    @property
+    def num_clusters(self) -> int:
+        """Number of physical clusters of the machine."""
+        return self.config.num_clusters
+
+    def cluster_occupancy(self, cluster: int) -> int:
+        """In-flight µops (including pending copies) assigned to ``cluster``."""
+        return self._cluster_inflight[cluster]
+
+    def queue_free(self, cluster: int, kind: IssueQueueKind) -> int:
+        """Free entries of the ``kind`` issue queue of ``cluster``."""
+        return self.issue_queues.free_entries(cluster, kind)
+
+    def register_location_mask(self, reg: int) -> int:
+        """Location bitmask of architectural register ``reg`` (rename table view)."""
+        return self.rename.location_mask(reg)
+
+    # ----------------------------------------------------------------- running --
+    def run(self, trace: Sequence[DynamicUop], max_cycles: Optional[int] = None) -> SimulationMetrics:
+        """Execute ``trace`` to completion and return the collected metrics.
+
+        Raises
+        ------
+        RuntimeError
+            If the simulation exceeds ``max_cycles`` (deadlock guard).
+        """
+        self._reset_state()
+        if self.config.warm_caches:
+            self._warm_caches(trace)
+        self._trace_iter = iter(trace)
+        limit = max_cycles if max_cycles is not None else self.config.max_cycles
+        while not self._finished():
+            self._step()
+            if self.cycle > limit:
+                raise RuntimeError(
+                    f"simulation exceeded {limit} cycles "
+                    f"({self.metrics.committed_uops} µops committed); possible deadlock"
+                )
+        self.metrics.cycles = self.cycle
+        self.metrics.cache = self.memory.summary()
+        self.metrics.vc_remaps = getattr(self.steering, "remap_count", 0)
+        return self.metrics
+
+    def _warm_caches(self, trace: Sequence[DynamicUop]) -> None:
+        """Pre-touch the trace's memory footprint, then zero the cache statistics.
+
+        This models the steady state deep inside a PinPoints region: capacity
+        and conflict behaviour are preserved (the working set still may not
+        fit), but one-time compulsory misses do not dominate the short trace.
+        """
+        for uop in trace:
+            if uop.is_load:
+                self.memory.load_latency(uop.address)
+            elif uop.is_store:
+                self.memory.store_access(uop.address)
+        self.memory.l1.reset_stats()
+        self.memory.l2.reset_stats()
+
+    def _finished(self) -> bool:
+        return (
+            self._trace_exhausted
+            and not self._dispatch_buffer
+            and self.rob.is_empty
+            and self._uops_in_flight == 0
+        )
+
+    def _step(self) -> None:
+        self._commit()
+        self._writeback()
+        self._issue()
+        self._dispatch()
+        self._fetch()
+        self.cycle += 1
+
+    # ------------------------------------------------------------------ commit --
+    def _commit(self) -> None:
+        retired = self.rob.commit_ready(self.config.commit_width, lambda r: r.completed)
+        for record in retired:
+            self.metrics.committed_uops += 1
+            self._cluster_inflight[record.cluster] -= 1
+            self._uops_in_flight -= 1
+            if record.dests:
+                self.regfiles.release(record.cluster, record.dests)
+            if record.is_memory:
+                self.lsq.release()
+
+    # --------------------------------------------------------------- writeback --
+    def _writeback(self) -> None:
+        records = self._events.pop(self.cycle, None)
+        if not records:
+            return
+        for record in records:
+            record.completed = True
+            if record.is_copy:
+                # The copy arrived at its target cluster: the value is now
+                # available there and the copy no longer loads its producer
+                # cluster.
+                record.copy_value.mark_ready(record.copy_target)
+                self._cluster_inflight[record.cluster] -= 1
+                self._uops_in_flight -= 1
+            else:
+                for value in record.dest_values:
+                    value.mark_ready(record.cluster)
+                if record is self._pending_redirect:
+                    # Mispredicted branch resolved: the front end restarts
+                    # after the redirect penalty.
+                    self._pending_redirect = None
+                    self._dispatch_blocked_until = (
+                        self.cycle + self.config.mispredict_redirect_penalty
+                    )
+            for waiter in record.waiters:
+                waiter.pending -= 1
+                if waiter.pending == 0 and not waiter.issued:
+                    self.issue_queues.push_ready(
+                        waiter.cluster, waiter.queue_kind, waiter.order, waiter
+                    )
+            record.waiters = []
+
+    # ------------------------------------------------------------------- issue --
+    def _issue(self) -> None:
+        config = self.config
+        loads_issued = 0
+        for cluster in range(config.num_clusters):
+            for kind in (IssueQueueKind.INT, IssueQueueKind.FP, IssueQueueKind.COPY):
+                width = self.issue_queues.issue_width(kind)
+                issued = 0
+                deferred: List[_InFlight] = []
+                while issued < width:
+                    record = self.issue_queues.pop_ready(cluster, kind)
+                    if record is None:
+                        break
+                    if record.is_load and loads_issued >= config.l1_read_ports:
+                        deferred.append(record)
+                        continue
+                    self._issue_record(record)
+                    issued += 1
+                    if record.is_load:
+                        loads_issued += 1
+                for record in deferred:
+                    self.issue_queues.requeue_ready(cluster, kind, record.order, record)
+
+    def _issue_record(self, record: _InFlight) -> None:
+        record.issued = True
+        self.issue_queues.release(record.cluster, record.queue_kind)
+        if record.is_copy:
+            # One cycle of execution in the producing cluster, then the link.
+            value_ready = self.cycle + 1
+            arrival = self.interconnect.schedule_transfer(
+                record.cluster, record.copy_target, value_ready
+            )
+            self._schedule(arrival, record)
+            return
+        if record.is_load:
+            latency = record.latency + self.memory.load_latency(record.address)
+        elif record.is_memory:
+            latency = record.latency
+            self.memory.store_access(record.address)
+        else:
+            latency = record.latency
+        self._schedule(self.cycle + max(1, latency), record)
+
+    def _schedule(self, when: int, record: _InFlight) -> None:
+        self._events.setdefault(when, []).append(record)
+
+    # ---------------------------------------------------------------- dispatch --
+    def _dispatch(self) -> None:
+        config = self.config
+        dispatched = 0
+        while dispatched < config.dispatch_width and self._dispatch_buffer:
+            ready_cycle, uop = self._dispatch_buffer[0]
+            if ready_cycle > self.cycle:
+                break
+            if self._pending_redirect is not None or self.cycle < self._dispatch_blocked_until:
+                self.metrics.mispredict_stalls += 1
+                break
+            cluster = self.steering.pick_cluster(uop, self)
+            if cluster is None:
+                self.metrics.steering_stalls += 1
+                break
+            if not 0 <= cluster < config.num_clusters:
+                raise ValueError(
+                    f"steering policy {self.steering.name} returned invalid cluster {cluster}"
+                )
+            if not self._try_dispatch(uop, cluster):
+                break
+            self._dispatch_buffer.popleft()
+            dispatched += 1
+
+    def _try_dispatch(self, uop: DynamicUop, cluster: int) -> bool:
+        """Allocate every resource for ``uop`` on ``cluster``; ``False`` stalls dispatch."""
+        config = self.config
+        kind = uop.queue
+        if self.rob.is_full:
+            self.metrics.rob_stalls += 1
+            return False
+        if uop.is_memory and self.lsq.is_full:
+            self.metrics.lsq_stalls += 1
+            return False
+        if self.issue_queues.free_entries(cluster, kind) <= 0:
+            self.metrics.allocation_stalls[cluster] += 1
+            return False
+        if uop.dests and not self.regfiles.can_allocate(cluster, uop.dests):
+            self.metrics.allocation_stalls[cluster] += 1
+            return False
+
+        # Plan operand availability and the copies that must be generated.
+        # ``plans`` holds one entry per source operand that is not yet ready in
+        # the target cluster: either an existing record to wait on, or a new
+        # copy that must be created (and for which the source cluster's copy
+        # queue needs a free entry).
+        wait_on: List[_InFlight] = []
+        new_copies: List[Tuple[Value, int]] = []  # (value, source cluster)
+        copy_queue_demand: Dict[int, int] = {}
+        seen_regs = set()
+        for reg in uop.srcs:
+            if reg in seen_regs:
+                continue
+            seen_regs.add(reg)
+            value = self.rename.current(reg)
+            if value.is_ready_in(cluster):
+                continue
+            producer = value.producer
+            if producer is not None and not producer.completed and producer.cluster == cluster:
+                wait_on.append(producer)
+                continue
+            existing_copy = value.copies.get(cluster)
+            if existing_copy is not None and not existing_copy.completed:
+                wait_on.append(existing_copy)
+                continue
+            source_cluster = value.home_cluster
+            if source_cluster == cluster:
+                # The value will appear in this cluster without a copy (its
+                # producer completed between renaming and now, or it is a
+                # live-in homed here); wait on the producer if still pending.
+                if producer is not None and not producer.completed:
+                    wait_on.append(producer)
+                continue
+            new_copies.append((value, source_cluster))
+            copy_queue_demand[source_cluster] = copy_queue_demand.get(source_cluster, 0) + 1
+
+        for source_cluster, demand in copy_queue_demand.items():
+            if self.issue_queues.free_entries(source_cluster, IssueQueueKind.COPY) < demand:
+                self.metrics.allocation_stalls[source_cluster] += 1
+                return False
+
+        # Every resource is available: perform the dispatch.
+        record = _InFlight(self._next_order(), cluster, kind)
+        record.uop = uop
+        record.latency = uop.latency
+        record.is_memory = uop.is_memory
+        record.is_load = uop.is_load
+        record.address = uop.address
+        record.dests = uop.dests
+
+        for value, source_cluster in new_copies:
+            copy = self._create_copy(value, source_cluster, cluster)
+            wait_on.append(copy)
+
+        record.pending = len(wait_on)
+        for dependency in wait_on:
+            dependency.waiters.append(record)
+
+        self.issue_queues.allocate(cluster, kind)
+        if uop.dests:
+            self.regfiles.allocate(cluster, uop.dests)
+        if uop.is_memory:
+            self.lsq.allocate()
+        self.rob.allocate(record)
+        self._cluster_inflight[cluster] += 1
+        self._uops_in_flight += 1
+        self.metrics.dispatched_uops += 1
+        self.metrics.cluster_dispatch[cluster] += 1
+
+        for reg in uop.dests:
+            value = self.rename.define(reg, record, cluster)
+            record.dest_values.append(value)
+
+        if uop.is_branch:
+            self.metrics.branches += 1
+            if uop.mispredicted and self.config.model_branch_mispredictions:
+                self.metrics.mispredictions += 1
+                self._pending_redirect = record
+
+        if record.pending == 0:
+            self.issue_queues.push_ready(cluster, kind, record.order, record)
+        return True
+
+    def _create_copy(self, value: Value, source_cluster: int, target_cluster: int) -> _InFlight:
+        """Insert a copy µop in ``source_cluster`` moving ``value`` to ``target_cluster``."""
+        copy = _InFlight(self._next_order(), source_cluster, IssueQueueKind.COPY)
+        copy.is_copy = True
+        copy.copy_value = value
+        copy.copy_target = target_cluster
+        producer = value.producer
+        if producer is not None and not producer.completed:
+            copy.pending = 1
+            producer.waiters.append(copy)
+        self.issue_queues.allocate(source_cluster, IssueQueueKind.COPY)
+        self._cluster_inflight[source_cluster] += 1
+        self._uops_in_flight += 1
+        self.metrics.copies_generated += 1
+        self.metrics.cluster_copies[source_cluster] += 1
+        value.copies[target_cluster] = copy
+        if copy.pending == 0:
+            self.issue_queues.push_ready(source_cluster, IssueQueueKind.COPY, copy.order, copy)
+        return copy
+
+    def _next_order(self) -> int:
+        self._order += 1
+        return self._order
+
+    # ------------------------------------------------------------------- fetch --
+    def _fetch(self) -> None:
+        if self._trace_exhausted or self._trace_iter is None:
+            return
+        config = self.config
+        fetched = 0
+        while (
+            fetched < config.fetch_width
+            and len(self._dispatch_buffer) < self._dispatch_buffer_cap
+        ):
+            try:
+                uop = next(self._trace_iter)
+            except StopIteration:
+                self._trace_exhausted = True
+                break
+            self._dispatch_buffer.append(
+                (self.cycle + config.fetch_to_dispatch_latency, uop)
+            )
+            fetched += 1
+
+
+def simulate_trace(
+    trace: Sequence[DynamicUop],
+    steering: SteeringPolicy,
+    config: Optional[ClusterConfig] = None,
+    register_space: RegisterSpace = DEFAULT_REGISTER_SPACE,
+    max_cycles: Optional[int] = None,
+) -> SimulationMetrics:
+    """Convenience wrapper: run ``trace`` on a machine with ``steering``.
+
+    Parameters
+    ----------
+    trace:
+        Dynamic µops, in program order.
+    steering:
+        Run-time steering policy.
+    config:
+        Machine configuration; Table 2's 2-cluster machine by default.
+    register_space:
+        Architectural register namespace used by the trace.
+    max_cycles:
+        Optional override of the deadlock guard.
+    """
+    processor = ClusteredProcessor(config or ClusterConfig(), steering, register_space)
+    return processor.run(trace, max_cycles=max_cycles)

@@ -1,0 +1,74 @@
+"""Per-cluster physical register files.
+
+Each cluster owns a 256-entry integer and a 256-entry floating-point register
+file (Table 2).  A µop with a destination register claims a physical register
+in its cluster at dispatch and returns it at commit; dispatch stalls when the
+target cluster has no free physical register of the required kind.  This is
+one of the resources that make the ``one-cluster`` configuration slow: with
+every µop in the same cluster, a single register file has to hold the entire
+in-flight window.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cluster.config import ClusterConfig
+from repro.uops.registers import RegisterKind, RegisterSpace
+
+
+class RegisterFiles:
+    """Free-register accounting for every cluster.
+
+    Parameters
+    ----------
+    config:
+        Machine configuration (register file sizes and cluster count).
+    register_space:
+        Architectural register namespace (to classify destinations as INT/FP).
+    """
+
+    def __init__(self, config: ClusterConfig, register_space: RegisterSpace) -> None:
+        self.config = config
+        self.register_space = register_space
+        self._free_int: List[int] = [config.regfile_int_size] * config.num_clusters
+        self._free_fp: List[int] = [config.regfile_fp_size] * config.num_clusters
+
+    def _pool(self, kind: RegisterKind) -> List[int]:
+        return self._free_int if kind == RegisterKind.INT else self._free_fp
+
+    def free_registers(self, cluster: int, kind: RegisterKind) -> int:
+        """Free physical registers of ``kind`` in ``cluster``."""
+        return self._pool(kind)[cluster]
+
+    def can_allocate(self, cluster: int, dests) -> bool:
+        """True when every destination in ``dests`` can get a physical register."""
+        need_int = need_fp = 0
+        for reg in dests:
+            if self.register_space.kind_of(reg) == RegisterKind.INT:
+                need_int += 1
+            else:
+                need_fp += 1
+        return self._free_int[cluster] >= need_int and self._free_fp[cluster] >= need_fp
+
+    def allocate(self, cluster: int, dests) -> None:
+        """Claim physical registers for ``dests`` (caller checked :meth:`can_allocate`)."""
+        for reg in dests:
+            pool = self._pool(self.register_space.kind_of(reg))
+            if pool[cluster] <= 0:
+                raise RuntimeError("physical register file underflow")
+            pool[cluster] -= 1
+
+    def release(self, cluster: int, dests) -> None:
+        """Return the physical registers of ``dests`` (at commit)."""
+        for reg in dests:
+            kind = self.register_space.kind_of(reg)
+            pool = self._pool(kind)
+            limit = (
+                self.config.regfile_int_size
+                if kind == RegisterKind.INT
+                else self.config.regfile_fp_size
+            )
+            if pool[cluster] >= limit:
+                raise RuntimeError("physical register file overflow on release")
+            pool[cluster] += 1

@@ -1,0 +1,64 @@
+"""Experiment harness: the paper's evaluation, end to end.
+
+* :mod:`repro.experiments.configs` -- the five configurations of Table 3
+  (OP, one-cluster, OB, RHOP, VC) as composable factories of compile-time
+  pass + run-time policy.
+* :mod:`repro.experiments.runner` -- runs a benchmark (all of its PinPoints
+  phases) under one configuration and aggregates weighted metrics.
+* :mod:`repro.experiments.figure5` -- 2-cluster slowdown vs OP (Figure 5).
+* :mod:`repro.experiments.figure6` -- copy-reduction / workload-balance
+  trade-off scatter data (Figure 6).
+* :mod:`repro.experiments.figure7` -- 4-cluster scalability study (Figure 7),
+  including the VC(4->4) vs VC(2->4) copy comparison of Section 5.4.
+* :mod:`repro.experiments.table1` -- steering-unit complexity (Table 1).
+* :mod:`repro.experiments.ablations` -- sensitivity studies beyond the paper.
+* :mod:`repro.experiments.report` -- plain-text table formatting.
+"""
+
+from repro.experiments.configs import (
+    SteeringConfiguration,
+    TABLE3_CONFIGURATIONS,
+    make_configuration,
+    table3_configurations,
+)
+from repro.experiments.runner import (
+    BenchmarkResult,
+    ExperimentRunner,
+    ExperimentSettings,
+)
+from repro.experiments.figure5 import Figure5Result, run_figure5
+from repro.experiments.figure6 import Figure6Point, Figure6Result, run_figure6
+from repro.experiments.figure7 import Figure7Result, run_figure7
+from repro.experiments.table1 import run_table1
+from repro.experiments.ablations import (
+    AblationResult,
+    sweep_issue_queue_size,
+    sweep_link_latency,
+    sweep_region_size,
+    sweep_virtual_clusters,
+)
+from repro.experiments.report import format_table
+
+__all__ = [
+    "SteeringConfiguration",
+    "TABLE3_CONFIGURATIONS",
+    "make_configuration",
+    "table3_configurations",
+    "ExperimentRunner",
+    "ExperimentSettings",
+    "BenchmarkResult",
+    "Figure5Result",
+    "run_figure5",
+    "Figure6Point",
+    "Figure6Result",
+    "run_figure6",
+    "Figure7Result",
+    "run_figure7",
+    "run_table1",
+    "AblationResult",
+    "sweep_virtual_clusters",
+    "sweep_link_latency",
+    "sweep_region_size",
+    "sweep_issue_queue_size",
+    "format_table",
+]

@@ -1,0 +1,220 @@
+"""Sensitivity studies beyond the paper's figures.
+
+DESIGN.md calls out four design choices whose impact is worth quantifying:
+
+* **virtual-cluster count** -- the paper fixes 2 VCs for the 2-cluster
+  machine and studies 2 vs 4 for the 4-cluster machine; the sweep here
+  generalises that study,
+* **inter-cluster link latency** -- how quickly the benefit of copy reduction
+  grows as communication gets more expensive,
+* **compiler window (region size)** -- the "bigger window" advantage claimed
+  for software steering,
+* **issue-queue size** -- smaller queues make workload balance (and therefore
+  the run-time half of the hybrid scheme) more important.
+
+Each sweep runs a subset of benchmarks under the VC configuration (and the
+OP baseline where a relative number is needed) and reports weighted cycles,
+copies and allocation stalls per sweep point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.configs import TABLE3_CONFIGURATIONS, SteeringConfiguration
+from repro.experiments.figure7 import _vc_variant
+from repro.experiments.runner import ExperimentRunner, ExperimentSettings, slowdown_percent
+
+#: Default benchmark subset for the sweeps: a mix of regular FP, irregular
+#: INT and memory-bound traces.
+DEFAULT_ABLATION_BENCHMARKS = (
+    "164.gzip-1",
+    "176.gcc-1",
+    "181.mcf",
+    "178.galgel",
+    "171.swim",
+)
+
+
+@dataclass
+class AblationPoint:
+    """One sweep point: parameter value plus aggregate metrics."""
+
+    parameter: str
+    value: object
+    configuration: str
+    cycles: float
+    copies: float
+    allocation_stalls: float
+    slowdown_vs_op: Optional[float] = None
+
+
+@dataclass
+class AblationResult:
+    """All points of one sweep."""
+
+    parameter: str
+    points: List[AblationPoint] = field(default_factory=list)
+
+    def values(self) -> List[object]:
+        """Distinct swept values, in insertion order."""
+        seen: List[object] = []
+        for point in self.points:
+            if point.value not in seen:
+                seen.append(point.value)
+        return seen
+
+    def for_value(self, value: object) -> List[AblationPoint]:
+        """Points measured at one swept value."""
+        return [p for p in self.points if p.value == value]
+
+
+def _aggregate(
+    runner: ExperimentRunner,
+    benchmarks: Sequence[str],
+    configuration: SteeringConfiguration,
+) -> Dict[str, float]:
+    cycles = copies = stalls = 0.0
+    for name in benchmarks:
+        result = runner.run_benchmark(name, configuration)
+        cycles += result.cycles
+        copies += result.copies
+        stalls += result.allocation_stalls
+    return {"cycles": cycles, "copies": copies, "allocation_stalls": stalls}
+
+
+def _run_point(
+    parameter: str,
+    value: object,
+    settings: ExperimentSettings,
+    benchmarks: Sequence[str],
+    configurations: Sequence[SteeringConfiguration],
+    result: AblationResult,
+) -> None:
+    runner = ExperimentRunner(settings)
+    baseline_cycles: Optional[float] = None
+    aggregates = {}
+    for configuration in configurations:
+        aggregates[configuration.name] = _aggregate(runner, benchmarks, configuration)
+        if configuration.name == "OP":
+            baseline_cycles = aggregates[configuration.name]["cycles"]
+    for configuration in configurations:
+        data = aggregates[configuration.name]
+        slowdown = (
+            slowdown_percent(data["cycles"], baseline_cycles)
+            if baseline_cycles and configuration.name != "OP"
+            else None
+        )
+        result.points.append(
+            AblationPoint(
+                parameter=parameter,
+                value=value,
+                configuration=configuration.name,
+                cycles=data["cycles"],
+                copies=data["copies"],
+                allocation_stalls=data["allocation_stalls"],
+                slowdown_vs_op=slowdown,
+            )
+        )
+
+
+def sweep_virtual_clusters(
+    counts: Sequence[int] = (1, 2, 4, 8),
+    benchmarks: Sequence[str] = DEFAULT_ABLATION_BENCHMARKS,
+    base_settings: Optional[ExperimentSettings] = None,
+) -> AblationResult:
+    """Sweep the number of virtual clusters on the 2-cluster machine."""
+    base = base_settings or ExperimentSettings(num_clusters=2)
+    result = AblationResult(parameter="num_virtual_clusters")
+    for count in counts:
+        settings = ExperimentSettings(
+            num_clusters=base.num_clusters,
+            num_virtual_clusters=count,
+            trace_length=base.trace_length,
+            max_phases=base.max_phases,
+            region_size=base.region_size,
+            config_overrides=dict(base.config_overrides),
+        )
+        configurations = [TABLE3_CONFIGURATIONS["OP"], _vc_variant(f"VC({count})", count)]
+        _run_point("num_virtual_clusters", count, settings, benchmarks, configurations, result)
+    return result
+
+
+def sweep_link_latency(
+    latencies: Sequence[int] = (1, 2, 4, 8),
+    benchmarks: Sequence[str] = DEFAULT_ABLATION_BENCHMARKS,
+    base_settings: Optional[ExperimentSettings] = None,
+) -> AblationResult:
+    """Sweep the inter-cluster link latency (VC and RHOP versus OP)."""
+    base = base_settings or ExperimentSettings(num_clusters=2)
+    result = AblationResult(parameter="link_latency")
+    for latency in latencies:
+        overrides = dict(base.config_overrides)
+        overrides["link_latency"] = latency
+        settings = ExperimentSettings(
+            num_clusters=base.num_clusters,
+            num_virtual_clusters=base.num_virtual_clusters,
+            trace_length=base.trace_length,
+            max_phases=base.max_phases,
+            region_size=base.region_size,
+            config_overrides=overrides,
+        )
+        configurations = [
+            TABLE3_CONFIGURATIONS["OP"],
+            TABLE3_CONFIGURATIONS["RHOP"],
+            TABLE3_CONFIGURATIONS["VC"],
+        ]
+        _run_point("link_latency", latency, settings, benchmarks, configurations, result)
+    return result
+
+
+def sweep_region_size(
+    sizes: Sequence[int] = (16, 32, 64, 128, 256),
+    benchmarks: Sequence[str] = DEFAULT_ABLATION_BENCHMARKS,
+    base_settings: Optional[ExperimentSettings] = None,
+) -> AblationResult:
+    """Sweep the compiler window (region size) used by the software passes."""
+    base = base_settings or ExperimentSettings(num_clusters=2)
+    result = AblationResult(parameter="region_size")
+    for size in sizes:
+        settings = ExperimentSettings(
+            num_clusters=base.num_clusters,
+            num_virtual_clusters=base.num_virtual_clusters,
+            trace_length=base.trace_length,
+            max_phases=base.max_phases,
+            region_size=size,
+            config_overrides=dict(base.config_overrides),
+        )
+        configurations = [
+            TABLE3_CONFIGURATIONS["OP"],
+            TABLE3_CONFIGURATIONS["RHOP"],
+            TABLE3_CONFIGURATIONS["VC"],
+        ]
+        _run_point("region_size", size, settings, benchmarks, configurations, result)
+    return result
+
+
+def sweep_issue_queue_size(
+    sizes: Sequence[int] = (16, 32, 48, 96),
+    benchmarks: Sequence[str] = DEFAULT_ABLATION_BENCHMARKS,
+    base_settings: Optional[ExperimentSettings] = None,
+) -> AblationResult:
+    """Sweep the per-cluster integer/FP issue queue sizes."""
+    base = base_settings or ExperimentSettings(num_clusters=2)
+    result = AblationResult(parameter="issue_queue_size")
+    for size in sizes:
+        overrides = dict(base.config_overrides)
+        overrides["iq_int_size"] = size
+        overrides["iq_fp_size"] = size
+        settings = ExperimentSettings(
+            num_clusters=base.num_clusters,
+            num_virtual_clusters=base.num_virtual_clusters,
+            trace_length=base.trace_length,
+            max_phases=base.max_phases,
+            region_size=base.region_size,
+            config_overrides=overrides,
+        )
+        configurations = [TABLE3_CONFIGURATIONS["OP"], TABLE3_CONFIGURATIONS["VC"]]
+        _run_point("issue_queue_size", size, settings, benchmarks, configurations, result)
+    return result

@@ -1,0 +1,155 @@
+"""The evaluated steering configurations (Table 3).
+
+====================  =========================================================
+Configuration         Description (Table 3)
+====================  =========================================================
+``OP``                Occupancy-aware hardware-only steering [15] -- the
+                      baseline every other configuration is compared against.
+``one-cluster``       Every instruction goes to one cluster.
+``OB``                Static-placement dynamic-issue operation-based steering
+                      [19] (SPDI).
+``RHOP``              Region-based hierarchical operation partitioning [8].
+``VC``                The paper's hybrid steering based on virtual clustering.
+====================  =========================================================
+
+A :class:`SteeringConfiguration` couples the compile-time pass (if any) with
+the run-time policy so the harness can treat all five uniformly: annotate the
+program, build the policy, simulate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.partition.base import RegionPartitioner
+from repro.partition.ob_partitioner import OperationBasedPartitioner
+from repro.partition.rhop_partitioner import RhopPartitioner
+from repro.partition.vc_partitioner import VirtualClusterPartitioner
+from repro.steering.base import SteeringPolicy
+from repro.steering.occupancy import OccupancyAwareSteering
+from repro.steering.one_cluster import OneClusterSteering
+from repro.steering.static_follow import StaticAssignmentSteering
+from repro.steering.virtual_cluster import VirtualClusterSteering
+
+
+@dataclass(frozen=True)
+class SteeringConfiguration:
+    """One evaluated configuration: a compile-time pass plus a run-time policy.
+
+    Parameters
+    ----------
+    name:
+        Configuration name used in tables (``"OP"``, ``"VC"``...).
+    description:
+        Table 3 description.
+    partitioner_factory:
+        Callable ``(num_clusters, num_virtual_clusters, region_size) ->``
+        compile-time pass, or ``None`` for hardware-only configurations.
+    policy_factory:
+        Callable ``(num_clusters, num_virtual_clusters) ->`` run-time policy.
+    """
+
+    name: str
+    description: str
+    partitioner_factory: Optional[Callable[[int, int, int], RegionPartitioner]]
+    policy_factory: Callable[[int, int], SteeringPolicy]
+
+    @property
+    def uses_compiler(self) -> bool:
+        """True for software-only and hybrid configurations."""
+        return self.partitioner_factory is not None
+
+    def make_partitioner(
+        self, num_clusters: int, num_virtual_clusters: int, region_size: int = 128
+    ) -> Optional[RegionPartitioner]:
+        """Instantiate the compile-time pass (or ``None``)."""
+        if self.partitioner_factory is None:
+            return None
+        return self.partitioner_factory(num_clusters, num_virtual_clusters, region_size)
+
+    def make_policy(self, num_clusters: int, num_virtual_clusters: int) -> SteeringPolicy:
+        """Instantiate the run-time policy."""
+        return self.policy_factory(num_clusters, num_virtual_clusters)
+
+
+def _op_config() -> SteeringConfiguration:
+    return SteeringConfiguration(
+        name="OP",
+        description="Occupancy-aware steering [15]",
+        partitioner_factory=None,
+        policy_factory=lambda clusters, vcs: OccupancyAwareSteering(),
+    )
+
+
+def _one_cluster_config() -> SteeringConfiguration:
+    return SteeringConfiguration(
+        name="one-cluster",
+        description="Every instruction goes to one cluster",
+        partitioner_factory=None,
+        policy_factory=lambda clusters, vcs: OneClusterSteering(),
+    )
+
+
+def _ob_config() -> SteeringConfiguration:
+    return SteeringConfiguration(
+        name="OB",
+        description="Static-placement dynamic-issue operation-based steering [19]",
+        partitioner_factory=lambda clusters, vcs, region: OperationBasedPartitioner(
+            num_clusters=clusters, region_size=region
+        ),
+        policy_factory=lambda clusters, vcs: StaticAssignmentSteering(name="OB"),
+    )
+
+
+def _rhop_config() -> SteeringConfiguration:
+    return SteeringConfiguration(
+        name="RHOP",
+        description="Region-based hierarchical operation partition [8]",
+        partitioner_factory=lambda clusters, vcs, region: RhopPartitioner(
+            num_clusters=clusters, region_size=region
+        ),
+        policy_factory=lambda clusters, vcs: StaticAssignmentSteering(name="RHOP"),
+    )
+
+
+def _vc_config() -> SteeringConfiguration:
+    return SteeringConfiguration(
+        name="VC",
+        description="Hybrid steering based on virtual clustering (this paper)",
+        partitioner_factory=lambda clusters, vcs, region: VirtualClusterPartitioner(
+            num_virtual_clusters=vcs, region_size=region
+        ),
+        policy_factory=lambda clusters, vcs: VirtualClusterSteering(num_virtual_clusters=vcs),
+    )
+
+
+#: The five configurations of Table 3, keyed by name.
+TABLE3_CONFIGURATIONS: Dict[str, SteeringConfiguration] = {
+    config.name: config
+    for config in (
+        _op_config(),
+        _one_cluster_config(),
+        _ob_config(),
+        _rhop_config(),
+        _vc_config(),
+    )
+}
+
+
+def make_configuration(name: str) -> SteeringConfiguration:
+    """Return the Table 3 configuration called ``name`` (case-sensitive)."""
+    try:
+        return TABLE3_CONFIGURATIONS[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown configuration {name!r}; expected one of {sorted(TABLE3_CONFIGURATIONS)}"
+        ) from exc
+
+
+def table3_configurations(include_baseline: bool = True) -> List[SteeringConfiguration]:
+    """All Table 3 configurations, optionally excluding the OP baseline."""
+    names = ["OP", "one-cluster", "OB", "RHOP", "VC"]
+    if not include_baseline:
+        names.remove("OP")
+    return [TABLE3_CONFIGURATIONS[name] for name in names]

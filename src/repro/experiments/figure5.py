@@ -1,0 +1,119 @@
+"""Figure 5: 2-cluster slowdown of every configuration with respect to OP.
+
+The paper reports, for the 2-cluster machine, the per-benchmark slowdown of
+``one-cluster``, ``OB``, ``RHOP`` and ``VC`` relative to the hardware-only
+``OP`` baseline -- panel (a) for SPECint, panel (b) for SPECfp -- plus the
+INT / FP / CPU2000 averages in panel (c).  Headline numbers: one-cluster
+12.19 %, OB 6.50 %, RHOP 5.40 %, VC 2.62 % average slowdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.experiments.configs import TABLE3_CONFIGURATIONS, SteeringConfiguration
+from repro.experiments.runner import (
+    BenchmarkResult,
+    ExperimentRunner,
+    ExperimentSettings,
+    slowdown_percent,
+)
+from repro.workloads.spec2000 import all_trace_names, profile_for
+
+#: Configurations plotted in Figure 5 (everything but the OP baseline).
+FIGURE5_CONFIGURATIONS = ("one-cluster", "OB", "RHOP", "VC")
+
+
+@dataclass
+class Figure5Result:
+    """Reproduced Figure 5: per-benchmark and average slowdowns versus OP."""
+
+    #: slowdown[benchmark][configuration] in percent.
+    slowdowns: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: Raw per-benchmark results for deeper inspection.
+    raw: Dict[str, Dict[str, BenchmarkResult]] = field(default_factory=dict)
+    #: Benchmarks in the integer suite (panel a).
+    int_benchmarks: List[str] = field(default_factory=list)
+    #: Benchmarks in the floating-point suite (panel b).
+    fp_benchmarks: List[str] = field(default_factory=list)
+
+    def average(self, configuration: str, suite: str = "all") -> float:
+        """Average slowdown of ``configuration`` over a suite (panel c)."""
+        if suite == "int":
+            names = self.int_benchmarks
+        elif suite == "fp":
+            names = self.fp_benchmarks
+        elif suite == "all":
+            names = self.int_benchmarks + self.fp_benchmarks
+        else:
+            raise ValueError(f"unknown suite {suite!r}")
+        values = [self.slowdowns[name][configuration] for name in names if name in self.slowdowns]
+        return float(np.mean(values)) if values else 0.0
+
+    def averages_table(self) -> List[Dict[str, object]]:
+        """Panel (c): INT / FP / CPU2000 average slowdowns of each configuration."""
+        rows = []
+        for configuration in FIGURE5_CONFIGURATIONS:
+            rows.append(
+                {
+                    "configuration": configuration,
+                    "INT AVG (%)": round(self.average(configuration, "int"), 2),
+                    "FP AVG (%)": round(self.average(configuration, "fp"), 2),
+                    "CPU2000 AVG (%)": round(self.average(configuration, "all"), 2),
+                }
+            )
+        return rows
+
+    def benchmark_rows(self, suite: str) -> List[Dict[str, object]]:
+        """Panel (a) or (b): per-benchmark slowdown rows for one suite."""
+        names = self.int_benchmarks if suite == "int" else self.fp_benchmarks
+        rows = []
+        for name in names:
+            row: Dict[str, object] = {"benchmark": name}
+            for configuration in FIGURE5_CONFIGURATIONS:
+                row[f"{configuration} (%)"] = round(self.slowdowns[name][configuration], 2)
+            rows.append(row)
+        return rows
+
+
+def run_figure5(
+    settings: Optional[ExperimentSettings] = None,
+    benchmarks: Optional[Sequence[str]] = None,
+    runner: Optional[ExperimentRunner] = None,
+) -> Figure5Result:
+    """Reproduce Figure 5 on the 2-cluster machine.
+
+    Parameters
+    ----------
+    settings:
+        Experiment settings (2 clusters / 2 virtual clusters by default).
+    benchmarks:
+        Trace names to run; the full SPEC CPU2000 set when omitted.
+    runner:
+        Optionally reuse an existing runner (and its trace cache).
+    """
+    settings = settings or ExperimentSettings(num_clusters=2, num_virtual_clusters=2)
+    if settings.num_clusters != 2:
+        raise ValueError("Figure 5 is defined for the 2-cluster machine")
+    runner = runner or ExperimentRunner(settings)
+    names = list(benchmarks) if benchmarks is not None else all_trace_names("all")
+    configurations: List[SteeringConfiguration] = [TABLE3_CONFIGURATIONS["OP"]] + [
+        TABLE3_CONFIGURATIONS[name] for name in FIGURE5_CONFIGURATIONS
+    ]
+    raw = runner.run_suite(names, configurations)
+    result = Figure5Result(raw=raw)
+    for name in names:
+        suite = profile_for(name).suite
+        if suite == "int":
+            result.int_benchmarks.append(name)
+        else:
+            result.fp_benchmarks.append(name)
+        baseline = raw[name]["OP"].cycles
+        result.slowdowns[name] = {
+            configuration: slowdown_percent(raw[name][configuration].cycles, baseline)
+            for configuration in FIGURE5_CONFIGURATIONS
+        }
+    return result

@@ -1,0 +1,232 @@
+"""Benchmark runner: profiles -> programs -> traces -> simulations -> weighted metrics.
+
+The runner mirrors the paper's methodology: every benchmark contributes up to
+ten PinPoints simulation points; each point is simulated under every
+configuration on the *same* dynamic trace (only the compiler annotations and
+the run-time policy change); and benchmark-level numbers are the
+PinPoints-weighted averages of the per-point numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.metrics import SimulationMetrics
+from repro.cluster.processor import ClusteredProcessor
+from repro.experiments.configs import SteeringConfiguration
+from repro.program.program import Program
+from repro.uops.registers import DEFAULT_REGISTER_SPACE, RegisterSpace
+from repro.uops.uop import DynamicUop
+from repro.workloads.generator import BenchmarkProfile, WorkloadGenerator
+from repro.workloads.pinpoints import SimulationPoint, select_simulation_points, weighted_average
+from repro.workloads.spec2000 import profile_for
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """Knobs shared by every experiment.
+
+    Parameters
+    ----------
+    num_clusters:
+        Physical clusters of the simulated machine.
+    num_virtual_clusters:
+        Virtual clusters used by the VC configuration (2 in the paper's base
+        setup; 2 or 4 in the Figure 7 study).
+    trace_length:
+        Dynamic µops per simulation point.  The paper uses 10 M; the default
+        here is scaled down so a pure-Python simulation of the full suite
+        stays tractable -- relative results are stable well below 10 M.
+    max_phases:
+        Cap on simulation points per benchmark (the paper caps at 10).
+    region_size:
+        Compiler window (instructions per region) for the software passes.
+    config_overrides:
+        Extra :class:`~repro.cluster.config.ClusterConfig` field overrides
+        (used by the ablation sweeps).
+    """
+
+    num_clusters: int = 2
+    num_virtual_clusters: int = 2
+    trace_length: int = 4000
+    max_phases: int = 2
+    region_size: int = 128
+    config_overrides: Dict[str, object] = field(default_factory=dict)
+
+    def machine_config(self) -> ClusterConfig:
+        """The :class:`ClusterConfig` these settings describe."""
+        config = ClusterConfig(num_clusters=self.num_clusters)
+        if self.config_overrides:
+            config = config.with_overrides(**self.config_overrides)
+        return config
+
+
+@dataclass
+class PhaseRunResult:
+    """Result of simulating one simulation point under one configuration."""
+
+    benchmark: str
+    phase: int
+    weight: float
+    configuration: str
+    metrics: SimulationMetrics
+
+
+@dataclass
+class BenchmarkResult:
+    """PinPoints-weighted metrics of one benchmark under one configuration."""
+
+    benchmark: str
+    suite: str
+    configuration: str
+    cycles: float
+    copies: float
+    allocation_stalls: float
+    committed_uops: float
+    phase_results: List[PhaseRunResult] = field(default_factory=list)
+
+    @property
+    def ipc(self) -> float:
+        """Weighted committed µops per weighted cycle."""
+        return self.committed_uops / self.cycles if self.cycles else 0.0
+
+
+class ExperimentRunner:
+    """Run benchmarks under steering configurations with shared traces.
+
+    The runner caches the generated program and trace of every
+    ``(benchmark, phase)`` pair so that all configurations see the exact same
+    dynamic µop stream.
+    """
+
+    def __init__(
+        self,
+        settings: Optional[ExperimentSettings] = None,
+        register_space: RegisterSpace = DEFAULT_REGISTER_SPACE,
+    ) -> None:
+        self.settings = settings or ExperimentSettings()
+        self.register_space = register_space
+        self._trace_cache: Dict[Tuple[str, int], Tuple[Program, List[DynamicUop]]] = {}
+
+    # -- trace management -----------------------------------------------------------
+    def _trace_for(self, profile: BenchmarkProfile, phase: int) -> Tuple[Program, List[DynamicUop]]:
+        key = (profile.name, phase)
+        if key not in self._trace_cache:
+            generator = WorkloadGenerator(profile, register_space=self.register_space)
+            program, trace = generator.generate_trace(self.settings.trace_length, phase=phase)
+            self._trace_cache[key] = (program, trace)
+        return self._trace_cache[key]
+
+    def simulation_points(self, profile: BenchmarkProfile) -> List[SimulationPoint]:
+        """Weighted simulation points of ``profile`` under the current settings."""
+        return select_simulation_points(profile, max_phases=self.settings.max_phases)
+
+    # -- running ---------------------------------------------------------------------
+    def run_phase(
+        self,
+        profile: BenchmarkProfile,
+        point: SimulationPoint,
+        configuration: SteeringConfiguration,
+    ) -> PhaseRunResult:
+        """Simulate one simulation point under ``configuration``."""
+        settings = self.settings
+        program, trace = self._trace_for(profile, point.phase)
+        partitioner = configuration.make_partitioner(
+            settings.num_clusters, settings.num_virtual_clusters, settings.region_size
+        )
+        if partitioner is not None:
+            partitioner.annotate_program(program)
+        else:
+            program.clear_annotations()
+        policy = configuration.make_policy(settings.num_clusters, settings.num_virtual_clusters)
+        processor = ClusteredProcessor(settings.machine_config(), policy, self.register_space)
+        metrics = processor.run(trace)
+        return PhaseRunResult(
+            benchmark=profile.name,
+            phase=point.phase,
+            weight=point.weight,
+            configuration=configuration.name,
+            metrics=metrics,
+        )
+
+    def run_benchmark(
+        self, benchmark: str | BenchmarkProfile, configuration: SteeringConfiguration
+    ) -> BenchmarkResult:
+        """Simulate every simulation point of ``benchmark`` under ``configuration``."""
+        profile = benchmark if isinstance(benchmark, BenchmarkProfile) else profile_for(benchmark)
+        points = self.simulation_points(profile)
+        phase_results = [self.run_phase(profile, point, configuration) for point in points]
+        cycles = weighted_average([r.metrics.cycles for r in phase_results], points)
+        copies = weighted_average([r.metrics.copies_generated for r in phase_results], points)
+        stalls = weighted_average(
+            [r.metrics.balance_stalls for r in phase_results], points
+        )
+        committed = weighted_average(
+            [r.metrics.committed_uops for r in phase_results], points
+        )
+        return BenchmarkResult(
+            benchmark=profile.name,
+            suite=profile.suite,
+            configuration=configuration.name,
+            cycles=cycles,
+            copies=copies,
+            allocation_stalls=stalls,
+            committed_uops=committed,
+            phase_results=phase_results,
+        )
+
+    def run_suite(
+        self,
+        benchmarks: Sequence[str | BenchmarkProfile],
+        configurations: Sequence[SteeringConfiguration],
+    ) -> Dict[str, Dict[str, BenchmarkResult]]:
+        """Run every benchmark under every configuration.
+
+        Returns ``results[benchmark_name][configuration_name]``.
+        """
+        results: Dict[str, Dict[str, BenchmarkResult]] = {}
+        for benchmark in benchmarks:
+            profile = (
+                benchmark if isinstance(benchmark, BenchmarkProfile) else profile_for(benchmark)
+            )
+            per_config: Dict[str, BenchmarkResult] = {}
+            for configuration in configurations:
+                per_config[configuration.name] = self.run_benchmark(profile, configuration)
+            results[profile.name] = per_config
+        return results
+
+
+# ---------------------------------------------------------------------------
+# Comparison helpers shared by the figure drivers
+# ---------------------------------------------------------------------------
+
+
+def slowdown_percent(cycles: float, baseline_cycles: float) -> float:
+    """Slowdown of a configuration relative to the baseline, in percent.
+
+    Positive values mean the configuration is slower than the baseline (this
+    is the y-axis of Figures 5 and 7).
+    """
+    if baseline_cycles <= 0:
+        raise ValueError("baseline cycles must be positive")
+    return (cycles / baseline_cycles - 1.0) * 100.0
+
+
+def speedup_percent(cycles: float, other_cycles: float) -> float:
+    """Speedup of a configuration over another, in percent (Figure 6 x-axis)."""
+    if cycles <= 0:
+        raise ValueError("cycles must be positive")
+    return (other_cycles / cycles - 1.0) * 100.0
+
+
+def reduction_percent(value: float, reference: float) -> float:
+    """Relative reduction of ``value`` with respect to ``reference``, in percent.
+
+    Used for both copy reduction and workload-balance (allocation stall)
+    improvement.  When the reference is zero the reduction is defined as 0.
+    """
+    if reference <= 0:
+        return 0.0
+    return (reference - value) / reference * 100.0

@@ -1,0 +1,38 @@
+"""Compile-time partitioning passes (the software half of steering).
+
+Three passes are implemented, matching the configurations of Table 3:
+
+* :mod:`repro.partition.vc_partitioner` -- the paper's contribution: the
+  virtual-cluster partitioner of Figure 2 (criticality computation,
+  completion-time-driven assignment to virtual clusters, chain / chain-leader
+  identification of Figure 3).
+* :mod:`repro.partition.rhop_partitioner` -- RHOP: multilevel (coarsening +
+  refinement) graph partitioning with slack-based weights, binding
+  instructions to physical clusters.
+* :mod:`repro.partition.ob_partitioner` -- OB: SPDI-style static placement
+  with dynamic issue; greedy per-operation placement onto physical clusters
+  using static latency and load estimates.
+
+All passes share the region-driven driver in :mod:`repro.partition.base` and
+write their results as annotations on the static instructions (the ISA
+extension modelled in :mod:`repro.uops.encoding`).
+"""
+
+from repro.partition.base import PartitionReport, RegionPartitioner
+from repro.partition.chains import Chain, identify_chains
+from repro.partition.multilevel import MultilevelPartitioner, PartitionObjective
+from repro.partition.ob_partitioner import OperationBasedPartitioner
+from repro.partition.rhop_partitioner import RhopPartitioner
+from repro.partition.vc_partitioner import VirtualClusterPartitioner
+
+__all__ = [
+    "PartitionReport",
+    "RegionPartitioner",
+    "Chain",
+    "identify_chains",
+    "MultilevelPartitioner",
+    "PartitionObjective",
+    "OperationBasedPartitioner",
+    "RhopPartitioner",
+    "VirtualClusterPartitioner",
+]

@@ -1,0 +1,110 @@
+"""Chain and chain-leader identification (Figure 3).
+
+The paper defines a *chain* as "a group of instructions in the same virtual
+cluster that are mapped into the same physical cluster", and the *chain
+leader* as the first instruction of a chain.  Chain leaders are the places
+where the hardware consults the workload counters and (possibly) remaps the
+virtual cluster to a different physical cluster; every non-leader simply
+follows the current mapping of its virtual cluster.
+
+The compiler must therefore start a new chain exactly where a remap would be
+harmless: at an instruction that does not consume any value produced by the
+chain currently open on its virtual cluster.  We reconstruct that rule as
+follows (traversing the region in program order):
+
+* the first instruction of each virtual cluster starts a chain (and leads it);
+* a later instruction of the same virtual cluster starts a *new* chain when
+  **none of its DDG predecessors belong to the same virtual cluster** -- such
+  an instruction begins a fresh dependence chain, so remapping the virtual
+  cluster at that point cannot put it on a different physical cluster than a
+  same-VC value it consumes;
+* otherwise it joins the chain currently open on its virtual cluster (its
+  same-VC producers follow the same mapping, because the mapping can only
+  have changed at a leader, and a leader by definition does not consume
+  same-VC values).
+
+In the example of Figure 3 this yields exactly three leaders (A, B and E):
+A opens virtual cluster 0's chain, B opens virtual cluster 1's chain, and E
+(which depends only on nodes of the other virtual cluster) opens a second
+chain on its virtual cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.program.ddg import DataDependenceGraph
+
+
+@dataclass
+class Chain:
+    """One chain: consecutive same-VC instructions steered as a unit."""
+
+    chain_id: int
+    vc_id: int
+    nodes: List[int] = field(default_factory=list)
+
+    @property
+    def leader(self) -> int:
+        """DDG node index of the chain leader (first node of the chain)."""
+        return self.nodes[0]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+def identify_chains(
+    ddg: DataDependenceGraph, assignment: Sequence[int]
+) -> Tuple[List[Chain], List[bool]]:
+    """Split a virtual-cluster ``assignment`` of ``ddg`` into chains.
+
+    Parameters
+    ----------
+    ddg:
+        The region's data-dependence graph.
+    assignment:
+        Virtual cluster index of every DDG node.
+
+    Returns
+    -------
+    (chains, leader_flags)
+        The list of :class:`Chain` objects (in order of creation) and a
+        per-node boolean list marking chain leaders.
+    """
+    if len(assignment) != len(ddg):
+        raise ValueError("assignment length does not match the DDG")
+    chains: List[Chain] = []
+    leader_flags = [False] * len(ddg)
+    #: Open chain per virtual cluster (chain index into ``chains``).
+    open_chain: Dict[int, int] = {}
+    #: Fast membership test: node -> chain index.
+    chain_of_node: Dict[int, int] = {}
+    for node in range(len(ddg)):
+        vc = int(assignment[node])
+        current = open_chain.get(vc)
+        starts_new = current is None
+        if not starts_new:
+            # The node extends the open chain of its virtual cluster unless it
+            # starts a fresh dependence chain (no producer in the same VC).
+            has_same_vc_producer = any(
+                int(assignment[pred]) == vc for pred in ddg.preds[node]
+            )
+            starts_new = not has_same_vc_producer
+        if starts_new:
+            chain = Chain(chain_id=len(chains), vc_id=vc)
+            chains.append(chain)
+            open_chain[vc] = chain.chain_id
+            leader_flags[node] = True
+            current = chain.chain_id
+        chains[current].nodes.append(node)
+        chain_of_node[node] = current
+    return chains, leader_flags
+
+
+def chain_length_histogram(chains: Sequence[Chain]) -> Dict[int, int]:
+    """Histogram of chain lengths (length -> count); useful for reports and tests."""
+    histogram: Dict[int, int] = {}
+    for chain in chains:
+        histogram[len(chain)] = histogram.get(len(chain), 0) + 1
+    return histogram

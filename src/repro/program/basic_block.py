@@ -1,0 +1,93 @@
+"""Basic blocks: straight-line sequences of static instructions."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from repro.uops.uop import StaticInstruction
+
+
+class BasicBlock:
+    """A maximal straight-line sequence of static instructions.
+
+    Parameters
+    ----------
+    bid:
+        Unique block id within the program.
+    instructions:
+        The instructions of the block, in program order.  The block id of
+        each instruction is rewritten to ``bid``.
+    name:
+        Optional human-readable label (e.g. ``"loop_body"``).
+    """
+
+    __slots__ = ("bid", "instructions", "name")
+
+    def __init__(
+        self,
+        bid: int,
+        instructions: Optional[Sequence[StaticInstruction]] = None,
+        name: str = "",
+    ) -> None:
+        self.bid = int(bid)
+        self.instructions: List[StaticInstruction] = list(instructions or [])
+        for inst in self.instructions:
+            inst.block = self.bid
+        self.name = name or f"bb{bid}"
+
+    def append(self, inst: StaticInstruction) -> None:
+        """Append ``inst`` to the block, claiming it for this block."""
+        inst.block = self.bid
+        self.instructions.append(inst)
+
+    def extend(self, insts: Iterable[StaticInstruction]) -> None:
+        """Append every instruction in ``insts``."""
+        for inst in insts:
+            self.append(inst)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[StaticInstruction]:
+        return iter(self.instructions)
+
+    def __getitem__(self, index: int) -> StaticInstruction:
+        return self.instructions[index]
+
+    @property
+    def terminator(self) -> Optional[StaticInstruction]:
+        """The final instruction if it is a branch, otherwise ``None``."""
+        if self.instructions and self.instructions[-1].is_branch:
+            return self.instructions[-1]
+        return None
+
+    @property
+    def defined_registers(self) -> frozenset:
+        """Set of registers written anywhere in the block."""
+        out = set()
+        for inst in self.instructions:
+            out.update(inst.dests)
+        return frozenset(out)
+
+    @property
+    def used_registers(self) -> frozenset:
+        """Set of registers read anywhere in the block."""
+        out = set()
+        for inst in self.instructions:
+            out.update(inst.srcs)
+        return frozenset(out)
+
+    @property
+    def live_in_registers(self) -> frozenset:
+        """Registers read before any write inside the block (block-local live-ins)."""
+        written = set()
+        live_in = set()
+        for inst in self.instructions:
+            for src in inst.srcs:
+                if src not in written:
+                    live_in.add(src)
+            written.update(inst.dests)
+        return frozenset(live_in)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BasicBlock(bid={self.bid}, name={self.name!r}, n={len(self)})"

@@ -1,0 +1,105 @@
+"""Region (superblock) formation for the compile-time partitioners.
+
+The paper's software side partitions "data dependence graphs" built over a
+compilation scope larger than a hardware dispatch group -- that is precisely
+the advantage it claims for software steering (Section 3.2: "a bigger window
+of instructions is inspected at compile time").  We form superblock-style
+regions: starting from a seed block, the region grows along the most likely
+CFG successor until an instruction budget is reached, a block is revisited,
+or the path probability falls below a threshold.
+
+Every basic block belongs to exactly one region, so annotating all regions
+annotates the whole program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.program.program import Program
+from repro.uops.uop import StaticInstruction
+
+
+@dataclass
+class Region:
+    """One compilation region: an ordered list of block ids and their instructions."""
+
+    rid: int
+    block_ids: List[int] = field(default_factory=list)
+    instructions: List[StaticInstruction] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+
+def form_regions(
+    program: Program,
+    max_instructions: int = 128,
+    min_path_probability: float = 0.05,
+) -> List[Region]:
+    """Partition ``program`` into superblock regions.
+
+    Parameters
+    ----------
+    program:
+        The static program.
+    max_instructions:
+        Upper bound on the number of instructions in a region (the compiler's
+        window size).
+    min_path_probability:
+        Stop growing a region when the cumulative probability of the path
+        from its seed falls below this threshold.
+
+    Returns
+    -------
+    list[Region]
+        Regions covering every block exactly once, ordered by seed block id.
+    """
+    if max_instructions < 1:
+        raise ValueError("max_instructions must be positive")
+    claimed: Dict[int, int] = {}
+    regions: List[Region] = []
+    order = sorted(program.blocks)
+    # Seed regions starting from the CFG entry first, then any unclaimed block
+    # in id order; this mirrors trace-based superblock formation seeded at the
+    # hottest unvisited block without requiring a profile.
+    seeds = [program.cfg.entry] + [b for b in order if b != program.cfg.entry]
+    for seed in seeds:
+        if seed in claimed:
+            continue
+        region = Region(rid=len(regions))
+        bid = seed
+        path_probability = 1.0
+        while (
+            bid is not None
+            and bid not in claimed
+            and len(region.instructions) < max_instructions
+            and path_probability >= min_path_probability
+        ):
+            block = program.block(bid)
+            if region.instructions and len(region.instructions) + len(block) > max_instructions:
+                break
+            claimed[bid] = region.rid
+            region.block_ids.append(bid)
+            region.instructions.extend(block.instructions)
+            # Follow the most likely forward successor.
+            succ = program.cfg.most_likely_successor(bid, exclude_back_edges=True)
+            best_probability = 0.0
+            for edge in program.cfg.successors(bid):
+                if not edge.is_back_edge and edge.dst == succ:
+                    best_probability = max(best_probability, edge.probability)
+            path_probability *= best_probability
+            bid = succ
+        if region.block_ids:
+            regions.append(region)
+    return regions
+
+
+def region_of_block(regions: Sequence[Region]) -> Dict[int, int]:
+    """Return a mapping from block id to region id."""
+    out: Dict[int, int] = {}
+    for region in regions:
+        for bid in region.block_ids:
+            out[bid] = region.rid
+    return out

@@ -1,0 +1,174 @@
+"""Dynamic trace expansion.
+
+The paper's simulator is trace-driven: it executes traces of IA32 binaries
+collected with Pin.  Our substitute expands a static :class:`~repro.program.program.Program`
+into a stream of :class:`~repro.uops.uop.DynamicUop` by walking the CFG with
+a seeded random generator:
+
+* control flow follows the edge probabilities of the CFG (loops therefore
+  iterate with their expected trip counts),
+* memory instructions receive effective addresses from per-instruction
+  address streams (strided or uniformly random within a configurable working
+  set), so the cache hierarchy sees realistic locality,
+* branch µops are occasionally flagged as mispredicted, which the front end
+  of the simulator turns into fetch redirect penalties.
+
+Everything is reproducible from the ``seed``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+import numpy as np
+
+from repro.program.program import Program
+from repro.uops.uop import DynamicUop, StaticInstruction
+
+#: Cache line size assumed by the address model (bytes).
+CACHE_LINE_BYTES = 64
+
+
+@dataclass(frozen=True)
+class AddressModel:
+    """Parameters of the synthetic effective-address streams.
+
+    Parameters
+    ----------
+    working_set_bytes:
+        Size of the region of memory touched by random accesses.  Working
+        sets larger than the L1 (or L2) produce the corresponding miss
+        behaviour.
+    strided_fraction:
+        Fraction of static memory instructions whose dynamic instances form a
+        sequential strided stream (high spatial locality); the remainder
+        access uniformly random lines of the working set.
+    stride_bytes:
+        Stride of the sequential streams.
+    """
+
+    working_set_bytes: int = 512 * 1024
+    strided_fraction: float = 0.6
+    stride_bytes: int = 8
+
+
+class TraceGenerator:
+    """Expand a static program into a dynamic µop trace.
+
+    Parameters
+    ----------
+    program:
+        The static program to execute.
+    seed:
+        Seed of the NumPy generator used for control flow, addresses and
+        branch outcomes.
+    address_model:
+        Synthetic memory behaviour (see :class:`AddressModel`).
+    mispredict_rate:
+        Probability that a dynamic branch is flagged as mispredicted.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        seed: int = 0,
+        address_model: Optional[AddressModel] = None,
+        mispredict_rate: float = 0.02,
+    ) -> None:
+        self.program = program
+        self.seed = int(seed)
+        self.address_model = address_model or AddressModel()
+        if not 0.0 <= mispredict_rate <= 1.0:
+            raise ValueError("mispredict_rate must be in [0, 1]")
+        self.mispredict_rate = float(mispredict_rate)
+        self._rng = np.random.default_rng(self.seed)
+        # Per static memory instruction: (is_strided, base_address, counter).
+        self._streams: Dict[int, List[int]] = {}
+        self._stream_is_strided: Dict[int, bool] = {}
+
+    # -- address streams ---------------------------------------------------------
+    def _address_for(self, inst: StaticInstruction) -> int:
+        """Next effective address for a dynamic instance of ``inst``."""
+        model = self.address_model
+        sid = inst.sid
+        if sid not in self._stream_is_strided:
+            self._stream_is_strided[sid] = bool(self._rng.random() < model.strided_fraction)
+            base = int(self._rng.integers(0, max(1, model.working_set_bytes // CACHE_LINE_BYTES)))
+            self._streams[sid] = [base * CACHE_LINE_BYTES, 0]
+        if self._stream_is_strided[sid]:
+            base, count = self._streams[sid]
+            address = (base + count * model.stride_bytes) % model.working_set_bytes
+            self._streams[sid][1] = count + 1
+            return address
+        line = int(self._rng.integers(0, max(1, model.working_set_bytes // CACHE_LINE_BYTES)))
+        return line * CACHE_LINE_BYTES
+
+    # -- control flow ------------------------------------------------------------
+    def _next_block(self, bid: int) -> int:
+        """Sample the next block id from the outgoing edges of ``bid``."""
+        edges = self.program.cfg.successors(bid)
+        if not edges:
+            return self.program.cfg.entry
+        if len(edges) == 1:
+            return edges[0].dst
+        probabilities = np.array([e.probability for e in edges], dtype=float)
+        total = probabilities.sum()
+        if total <= 0:
+            return edges[0].dst
+        probabilities /= total
+        choice = int(self._rng.choice(len(edges), p=probabilities))
+        return edges[choice].dst
+
+    # -- expansion ---------------------------------------------------------------
+    def generate(self, num_uops: int) -> List[DynamicUop]:
+        """Produce a trace of approximately ``num_uops`` dynamic µops.
+
+        The trace always ends at a basic-block boundary, so the length may
+        exceed ``num_uops`` by at most one block.
+        """
+        if num_uops < 1:
+            raise ValueError("num_uops must be positive")
+        trace: List[DynamicUop] = []
+        bid = self.program.cfg.entry
+        seq = 0
+        guard = 0
+        max_blocks = num_uops * 4 + 16  # guard against degenerate CFGs with empty blocks
+        while len(trace) < num_uops and guard < max_blocks:
+            guard += 1
+            block = self.program.block(bid)
+            for inst in block.instructions:
+                address = self._address_for(inst) if inst.is_memory else 0
+                mispredicted = bool(
+                    inst.is_branch and self._rng.random() < self.mispredict_rate
+                )
+                trace.append(DynamicUop(seq, inst, address=address, mispredicted=mispredicted))
+                seq += 1
+            bid = self._next_block(bid)
+        if not trace:
+            raise ValueError("trace expansion produced no µops (empty program?)")
+        return trace
+
+    def iterate(self, num_uops: int) -> Iterator[DynamicUop]:
+        """Iterator variant of :meth:`generate` (materialises the list once)."""
+        return iter(self.generate(num_uops))
+
+
+def expand_trace(
+    program: Program,
+    num_uops: int,
+    seed: int = 0,
+    address_model: Optional[AddressModel] = None,
+    mispredict_rate: float = 0.02,
+) -> List[DynamicUop]:
+    """Convenience wrapper around :class:`TraceGenerator`.
+
+    See :class:`TraceGenerator` for parameter semantics.
+    """
+    generator = TraceGenerator(
+        program,
+        seed=seed,
+        address_model=address_model,
+        mispredict_rate=mispredict_rate,
+    )
+    return generator.generate(num_uops)

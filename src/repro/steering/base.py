@@ -1,0 +1,109 @@
+"""Steering policy interface and hardware-structure declarations.
+
+The dispatch stage of the simulator consults a :class:`SteeringPolicy` for
+every µop it dispatches.  The policy sees the µop (including its compiler
+annotations, i.e. the ISA extension) and a :class:`SteeringContext` exposing
+exactly the information a real steering unit could observe:
+
+* the current per-cluster workload (in-flight µop counters),
+* the free entries of each per-cluster issue queue, and
+* the register-location information maintained by the rename table
+  (which clusters hold, or will produce, each architectural register).
+
+Policies must not reach into any other simulator state -- that discipline is
+what makes the Table 1 complexity comparison meaningful: a policy that never
+calls :meth:`SteeringContext.register_location_mask` genuinely does not need
+the dependence-check table.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.uops.opcodes import IssueQueueKind
+from repro.uops.uop import DynamicUop
+
+#: Sentinel returned by a policy that decides to stall the front end this cycle.
+STALL: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class SteeringHardware:
+    """Hardware structures a steering scheme needs (the rows of Table 1)."""
+
+    dependence_check: bool = False
+    workload_counters: bool = False
+    vote_unit: bool = False
+    copy_generator: bool = False
+    mapping_table_entries: int = 0
+
+    def as_dict(self) -> dict:
+        """Flat dictionary used by the complexity model and reports."""
+        return {
+            "dependence_check": self.dependence_check,
+            "workload_balance_management": self.workload_counters,
+            "vote_unit": self.vote_unit,
+            "copy_generator": self.copy_generator,
+            "mapping_table_entries": self.mapping_table_entries,
+        }
+
+
+class SteeringContext(abc.ABC):
+    """What the steering unit can observe about the machine at dispatch time."""
+
+    @property
+    @abc.abstractmethod
+    def num_clusters(self) -> int:
+        """Number of physical clusters."""
+
+    @abc.abstractmethod
+    def cluster_occupancy(self, cluster: int) -> int:
+        """Number of in-flight µops currently assigned to ``cluster``."""
+
+    @abc.abstractmethod
+    def queue_free(self, cluster: int, kind: IssueQueueKind) -> int:
+        """Free entries in the ``kind`` issue queue of ``cluster``."""
+
+    @abc.abstractmethod
+    def register_location_mask(self, reg: int) -> int:
+        """Bitmask of clusters holding (or about to produce) register ``reg``.
+
+        Bit ``c`` is set when the current value of the architectural register
+        is available in cluster ``c`` or will be produced there by an
+        in-flight µop.  A zero mask means the location is unknown (treated as
+        "anywhere" by the policies).
+        """
+
+    # -- convenience helpers shared by several policies --------------------------
+    def least_loaded_cluster(self) -> int:
+        """Cluster with the fewest in-flight µops (lowest index wins ties)."""
+        return min(range(self.num_clusters), key=lambda c: (self.cluster_occupancy(c), c))
+
+
+class SteeringPolicy(abc.ABC):
+    """Base class of run-time steering policies."""
+
+    #: Short name used in reports and experiment configs.
+    name = "base"
+
+    def reset(self, num_clusters: int) -> None:
+        """Prepare internal state for a new simulation with ``num_clusters`` clusters."""
+        self._num_clusters = int(num_clusters)
+
+    @abc.abstractmethod
+    def pick_cluster(self, uop: DynamicUop, context: SteeringContext) -> Optional[int]:
+        """Return the destination cluster of ``uop``, or :data:`STALL`.
+
+        Returning :data:`STALL` keeps the µop (and everything younger) in the
+        dispatch buffer for this cycle; the simulator accounts it as a
+        steering stall.
+        """
+
+    def hardware(self) -> SteeringHardware:
+        """Hardware structures needed by the policy (Table 1 row)."""
+        return SteeringHardware()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"

@@ -1,0 +1,90 @@
+"""``OP``: occupancy-aware hardware-only steering (the paper's baseline).
+
+The policy follows the description in Sections 2.1 and 3.1:
+
+* **dependence-based**: each µop is steered to the cluster holding most of
+  its source operands.  The register locations are read from the rename
+  table *sequentially* -- the location updates performed by earlier µops of
+  the same dispatch group are visible (the expensive serialisation the paper
+  wants to remove from the hardware).
+* **occupancy-aware tie-breaking**: ties go to the least loaded cluster.
+* **occupancy-aware stalling** (per [15]): if the preferred cluster cannot
+  accept the µop because its issue queue is full, the front end *stalls*
+  rather than spraying the µop to another cluster -- unless some other
+  cluster is clearly idle (occupancy below ``idle_fraction`` of the preferred
+  cluster's), in which case the µop is diverted there.
+
+This is the highest-complexity, highest-performance scheme: it needs the
+dependence-check table, the workload counters, the vote unit and the copy
+generator (all four rows of Table 1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.steering.base import STALL, SteeringContext, SteeringHardware, SteeringPolicy
+from repro.uops.uop import DynamicUop
+
+
+class OccupancyAwareSteering(SteeringPolicy):
+    """Sequential dependence + occupancy steering with stalling.
+
+    Parameters
+    ----------
+    idle_fraction:
+        A non-preferred cluster counts as "not busy" (and may receive the µop
+        when the preferred cluster is full) if its occupancy is below this
+        fraction of the preferred cluster's occupancy.
+    """
+
+    name = "OP"
+
+    def __init__(self, idle_fraction: float = 0.5) -> None:
+        if not 0.0 <= idle_fraction <= 1.0:
+            raise ValueError("idle_fraction must be in [0, 1]")
+        self.idle_fraction = float(idle_fraction)
+
+    def pick_cluster(self, uop: DynamicUop, context: SteeringContext) -> Optional[int]:
+        """Steer ``uop`` using source locations, occupancy, and stalling."""
+        num_clusters = context.num_clusters
+        # Count how many source operands each cluster already holds.
+        source_counts = [0] * num_clusters
+        for reg in uop.srcs:
+            mask = context.register_location_mask(reg)
+            if mask == 0:
+                continue
+            for cluster in range(num_clusters):
+                if mask & (1 << cluster):
+                    source_counts[cluster] += 1
+        best_count = max(source_counts) if source_counts else 0
+        if best_count == 0:
+            # No located source: pure workload balance.
+            preferred = context.least_loaded_cluster()
+        else:
+            candidates = [c for c in range(num_clusters) if source_counts[c] == best_count]
+            preferred = min(candidates, key=lambda c: (context.cluster_occupancy(c), c))
+        # Occupancy-aware stalling: if the preferred cluster cannot take the
+        # µop, only divert it when some other cluster is clearly idle.
+        if context.queue_free(preferred, uop.queue) > 0:
+            return preferred
+        preferred_occupancy = context.cluster_occupancy(preferred)
+        idle_candidates = [
+            c
+            for c in range(num_clusters)
+            if c != preferred
+            and context.queue_free(c, uop.queue) > 0
+            and context.cluster_occupancy(c) <= preferred_occupancy * self.idle_fraction
+        ]
+        if idle_candidates:
+            return min(idle_candidates, key=lambda c: (context.cluster_occupancy(c), c))
+        return STALL
+
+    def hardware(self) -> SteeringHardware:
+        """OP needs every structure of Table 1."""
+        return SteeringHardware(
+            dependence_check=True,
+            workload_counters=True,
+            vote_unit=True,
+            copy_generator=True,
+        )

@@ -1,0 +1,53 @@
+"""Micro-op (µop) and ISA model.
+
+This package defines the instruction representation shared by the compiler
+substrate (:mod:`repro.program`, :mod:`repro.partition`) and the clustered
+microarchitecture simulator (:mod:`repro.cluster`):
+
+* :mod:`repro.uops.opcodes` -- µop classes, execution latencies and issue-queue
+  routing (integer / floating-point / copy).
+* :mod:`repro.uops.registers` -- the architectural register model (integer and
+  floating-point register namespaces).
+* :mod:`repro.uops.uop` -- :class:`StaticInstruction` (the compiler-visible
+  instruction) and :class:`DynamicUop` (one dynamic instance executed by the
+  simulator).
+* :mod:`repro.uops.encoding` -- the ISA extension of the paper: the
+  ``vc_id`` / chain-leader annotation carried from the compiler to the
+  hardware steering unit, including a compact binary encoding.
+"""
+
+from repro.uops.opcodes import (
+    UopClass,
+    latency_of,
+    queue_of,
+    IssueQueueKind,
+    is_memory,
+    is_floating_point,
+    is_branch,
+    INT_OPCODES,
+    FP_OPCODES,
+    MEM_OPCODES,
+)
+from repro.uops.registers import RegisterSpace, RegisterKind
+from repro.uops.uop import StaticInstruction, DynamicUop
+from repro.uops.encoding import SteeringAnnotation, encode_annotation, decode_annotation
+
+__all__ = [
+    "UopClass",
+    "IssueQueueKind",
+    "latency_of",
+    "queue_of",
+    "is_memory",
+    "is_floating_point",
+    "is_branch",
+    "INT_OPCODES",
+    "FP_OPCODES",
+    "MEM_OPCODES",
+    "RegisterSpace",
+    "RegisterKind",
+    "StaticInstruction",
+    "DynamicUop",
+    "SteeringAnnotation",
+    "encode_annotation",
+    "decode_annotation",
+]

@@ -1,0 +1,112 @@
+"""ISA extension carrying steering annotations from compiler to hardware.
+
+Section 5.1 of the paper extends the x86 instruction set so that the virtual
+cluster id assigned at compile time, together with the chain-leader mark, can
+be passed to the hardware.  We model that extension explicitly:
+
+* :class:`SteeringAnnotation` is the logical content of the extension,
+* :func:`encode_annotation` / :func:`decode_annotation` pack it into a small
+  integer exactly as an instruction prefix would, which lets the tests verify
+  that the information the hardware needs fits in a handful of bits (the
+  complexity argument of the paper relies on the annotation being tiny).
+
+Encoding layout (least-significant bits first)::
+
+    bit 0       : valid        (annotation present)
+    bit 1       : chain leader (Figure 3 mark; non-leaders carry 0)
+    bits 2..5   : vc_id        (up to 16 virtual clusters)
+    bits 6..9   : static physical cluster + 1 (0 = unbound), for software-only
+                  schemes that bind instructions directly to physical clusters
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.uops.uop import StaticInstruction
+
+#: Maximum number of virtual clusters representable by the encoding.
+MAX_VIRTUAL_CLUSTERS = 16
+
+#: Maximum number of physical clusters representable by the encoding.
+MAX_PHYSICAL_CLUSTERS = 15
+
+#: Number of bits used by the encoded annotation.
+ANNOTATION_BITS = 10
+
+
+@dataclass(frozen=True)
+class SteeringAnnotation:
+    """Steering information attached to one static instruction.
+
+    ``vc_id`` / ``chain_leader`` are produced by the hybrid VC partitioner;
+    ``static_cluster`` is produced by the software-only partitioners (OB and
+    RHOP) which bind instructions directly to physical clusters.
+    """
+
+    vc_id: Optional[int] = None
+    chain_leader: bool = False
+    static_cluster: Optional[int] = None
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the instruction carries no steering information."""
+        return self.vc_id is None and self.static_cluster is None and not self.chain_leader
+
+
+def annotation_of(inst: StaticInstruction) -> SteeringAnnotation:
+    """Extract the :class:`SteeringAnnotation` carried by ``inst``."""
+    return SteeringAnnotation(
+        vc_id=inst.vc_id,
+        chain_leader=inst.chain_leader,
+        static_cluster=inst.static_cluster,
+    )
+
+
+def apply_annotation(inst: StaticInstruction, annotation: SteeringAnnotation) -> None:
+    """Write ``annotation`` onto ``inst`` (overwrites previous annotations)."""
+    inst.vc_id = annotation.vc_id
+    inst.chain_leader = annotation.chain_leader
+    inst.static_cluster = annotation.static_cluster
+
+
+def encode_annotation(annotation: SteeringAnnotation) -> int:
+    """Pack ``annotation`` into the :data:`ANNOTATION_BITS`-bit ISA field.
+
+    Raises
+    ------
+    ValueError
+        If the virtual or physical cluster id does not fit the encoding.
+    """
+    if annotation.is_empty:
+        return 0
+    vc = annotation.vc_id if annotation.vc_id is not None else 0
+    if not 0 <= vc < MAX_VIRTUAL_CLUSTERS:
+        raise ValueError(f"vc_id {vc} does not fit in the {MAX_VIRTUAL_CLUSTERS}-entry encoding")
+    if annotation.static_cluster is None:
+        pc_field = 0
+    else:
+        if not 0 <= annotation.static_cluster < MAX_PHYSICAL_CLUSTERS:
+            raise ValueError(
+                f"static_cluster {annotation.static_cluster} does not fit in the encoding"
+            )
+        pc_field = annotation.static_cluster + 1
+    word = 1  # valid bit
+    word |= (1 if annotation.chain_leader else 0) << 1
+    word |= vc << 2
+    word |= pc_field << 6
+    return word
+
+
+def decode_annotation(word: int) -> SteeringAnnotation:
+    """Unpack an annotation previously produced by :func:`encode_annotation`."""
+    if word < 0 or word >= (1 << ANNOTATION_BITS):
+        raise ValueError(f"annotation word {word} out of range")
+    if word & 1 == 0:
+        return SteeringAnnotation()
+    chain_leader = bool((word >> 1) & 1)
+    vc_id = (word >> 2) & 0xF
+    pc_field = (word >> 6) & 0xF
+    static_cluster = pc_field - 1 if pc_field > 0 else None
+    return SteeringAnnotation(vc_id=vc_id, chain_leader=chain_leader, static_cluster=static_cluster)

@@ -1,0 +1,58 @@
+"""Synthetic SPEC CPU2000-like workload substrate.
+
+The paper evaluates on SPEC CPU2000 traces compiled with Intel's production
+compiler and sampled with PinPoints.  Neither the binaries, the traces nor
+the compiler are available, so this package provides the closest synthetic
+equivalent that exercises the same code paths:
+
+* :mod:`repro.workloads.kernels` -- building-block instruction patterns
+  (serial chains, parallel chains, reductions, streaming loops, branchy
+  integer code) with distinct DDG shapes.
+* :mod:`repro.workloads.generator` -- a parametric program generator that
+  composes kernels into basic blocks, loops and a CFG according to a
+  :class:`~repro.workloads.generator.BenchmarkProfile`.
+* :mod:`repro.workloads.spec2000` -- one profile per SPEC CPU2000 trace used
+  in Figures 5-7 (26 integer traces, 14 floating-point traces).
+* :mod:`repro.workloads.pinpoints` -- PinPoints-style weighted simulation
+  points (phases) per benchmark.
+
+The substitution is documented in DESIGN.md: the steering comparison depends
+on DDG shape (chain length, ILP, criticality spread) and memory behaviour,
+which the profiles control explicitly.
+"""
+
+from repro.workloads.generator import BenchmarkProfile, WorkloadGenerator, generate_program
+from repro.workloads.kernels import (
+    KernelKind,
+    branchy_kernel,
+    parallel_chains_kernel,
+    reduction_kernel,
+    serial_chain_kernel,
+    stream_kernel,
+)
+from repro.workloads.pinpoints import SimulationPoint, select_simulation_points, weighted_average
+from repro.workloads.spec2000 import (
+    SPEC_INT_TRACES,
+    SPEC_FP_TRACES,
+    all_trace_names,
+    profile_for,
+)
+
+__all__ = [
+    "BenchmarkProfile",
+    "WorkloadGenerator",
+    "generate_program",
+    "KernelKind",
+    "serial_chain_kernel",
+    "parallel_chains_kernel",
+    "reduction_kernel",
+    "stream_kernel",
+    "branchy_kernel",
+    "SimulationPoint",
+    "select_simulation_points",
+    "weighted_average",
+    "SPEC_INT_TRACES",
+    "SPEC_FP_TRACES",
+    "all_trace_names",
+    "profile_for",
+]

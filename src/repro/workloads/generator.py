@@ -1,0 +1,298 @@
+"""Parametric synthetic benchmark generator.
+
+A :class:`BenchmarkProfile` captures the program characteristics that matter
+for instruction steering -- the mix of DDG shapes (kernels), the amount of
+instruction-level parallelism, the memory and floating-point intensity, the
+control-flow behaviour and the working-set size.  :class:`WorkloadGenerator`
+turns a profile (and a phase index) into a static
+:class:`~repro.program.program.Program` plus a dynamic µop trace.
+
+Phases model PinPoints simulation points: each phase uses a different seed
+and a slightly different working set / kernel emphasis, so the weighted
+averaging performed by the harness (as in the paper) is meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.program.basic_block import BasicBlock
+from repro.program.cfg import ControlFlowGraph
+from repro.program.program import Program
+from repro.program.trace import AddressModel, TraceGenerator
+from repro.uops.opcodes import UopClass
+from repro.uops.registers import RegisterSpace
+from repro.uops.uop import DynamicUop, StaticInstruction
+from repro.workloads.kernels import (
+    KERNEL_FUNCTIONS,
+    KernelKind,
+    RegisterPool,
+)
+
+
+@dataclass(frozen=True)
+class BenchmarkProfile:
+    """Parameters of one synthetic benchmark trace.
+
+    Parameters
+    ----------
+    name:
+        Trace name (``"164.gzip-1"`` style names are used by the SPEC set).
+    suite:
+        ``"int"`` or ``"fp"``; determines which average the harness folds the
+        benchmark into.
+    kernel_mix:
+        Relative weight of each :class:`~repro.workloads.kernels.KernelKind`
+        when choosing the kernel of a basic block.
+    ilp:
+        Number of independent chains per parallel-chains block; the main knob
+        controlling how much parallelism a steering scheme can exploit.
+    block_size_mean:
+        Mean number of instructions per basic block (before the terminator).
+    num_blocks:
+        Number of basic blocks in the synthetic program.
+    loop_fraction:
+        Fraction of blocks that are self-loop bodies.
+    loop_trip_mean:
+        Expected trip count of those loops.
+    skip_fraction:
+        Fraction of non-loop blocks with a two-way branch (fall-through or
+        skip one block ahead).
+    load_fraction / store_fraction / branch_fraction:
+        Instruction-mix knobs passed to the kernels.
+    long_latency_fraction:
+        Fraction of arithmetic operations drawn from long-latency classes.
+    cross_chain_fraction:
+        Probability of a cross-chain dependence inside parallel-chains blocks.
+    working_set_kb:
+        Memory footprint of the trace; larger than L1/L2 produces misses.
+    strided_fraction:
+        Fraction of memory instructions with strided (high-locality) streams.
+    mispredict_rate:
+        Per-branch misprediction probability used by the trace expander.
+    num_phases:
+        Number of PinPoints-style simulation points (up to 10, as in the
+        paper).
+    phase_memory_scale:
+        Relative working-set growth per phase (phases differ in memory
+        behaviour).
+    base_seed:
+        Seed from which all per-phase seeds are derived.
+    """
+
+    name: str
+    suite: str = "int"
+    kernel_mix: Dict[KernelKind, float] = field(
+        default_factory=lambda: {KernelKind.PARALLEL_CHAINS: 1.0}
+    )
+    ilp: int = 3
+    block_size_mean: int = 24
+    num_blocks: int = 24
+    loop_fraction: float = 0.3
+    loop_trip_mean: float = 12.0
+    skip_fraction: float = 0.25
+    load_fraction: float = 0.25
+    store_fraction: float = 0.10
+    branch_fraction: float = 0.15
+    long_latency_fraction: float = 0.10
+    cross_chain_fraction: float = 0.10
+    working_set_kb: int = 256
+    strided_fraction: float = 0.6
+    mispredict_rate: float = 0.03
+    num_phases: int = 3
+    phase_memory_scale: float = 0.5
+    base_seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.suite not in ("int", "fp"):
+            raise ValueError(f"suite must be 'int' or 'fp', got {self.suite!r}")
+        if self.ilp < 1:
+            raise ValueError("ilp must be at least 1")
+        if self.num_blocks < 2:
+            raise ValueError("num_blocks must be at least 2")
+        if not self.kernel_mix:
+            raise ValueError("kernel_mix must not be empty")
+        if self.num_phases < 1:
+            raise ValueError("num_phases must be at least 1")
+
+    @property
+    def is_fp(self) -> bool:
+        """True for floating-point benchmarks."""
+        return self.suite == "fp"
+
+    def with_overrides(self, **kwargs) -> "BenchmarkProfile":
+        """Return a copy of the profile with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+class WorkloadGenerator:
+    """Generate static programs and dynamic traces from a benchmark profile."""
+
+    #: Number of disjoint register windows blocks rotate through; values
+    #: produced in one block are therefore occasionally consumed a few blocks
+    #: later, creating realistic cross-block (region-level) dependences.
+    NUM_REGISTER_WINDOWS = 4
+    #: Registers reserved as always-live "global" values (stack pointer,
+    #: loop bounds, base addresses).
+    NUM_LIVE_IN_REGISTERS = 8
+
+    def __init__(self, profile: BenchmarkProfile, register_space: Optional[RegisterSpace] = None):
+        self.profile = profile
+        self.register_space = register_space or RegisterSpace()
+
+    # -- seeds -------------------------------------------------------------------
+    def phase_seed(self, phase: int) -> int:
+        """Deterministic seed of the given phase."""
+        name_hash = sum(ord(c) * (i + 1) for i, c in enumerate(self.profile.name)) % 100003
+        return (self.profile.base_seed * 7919 + phase * 104729 + name_hash) % (2**31 - 1)
+
+    # -- register windows --------------------------------------------------------
+    def _pool_for_block(self, block_index: int) -> RegisterPool:
+        space = self.register_space
+        live_ins = list(range(self.NUM_LIVE_IN_REGISTERS))
+        usable_int = space.num_int - self.NUM_LIVE_IN_REGISTERS
+        window_size = max(4, usable_int // self.NUM_REGISTER_WINDOWS)
+        window_index = block_index % self.NUM_REGISTER_WINDOWS
+        start = self.NUM_LIVE_IN_REGISTERS + window_index * window_size
+        int_window = [start + i for i in range(window_size) if start + i < space.num_int]
+        fp_window_size = max(4, space.num_fp // self.NUM_REGISTER_WINDOWS)
+        fp_start = space.num_int + window_index * fp_window_size
+        fp_window = [fp_start + i for i in range(fp_window_size) if fp_start + i < space.total]
+        return RegisterPool(space, int_window, fp_window, live_ins)
+
+    # -- kernel selection --------------------------------------------------------
+    def _pick_kernel(self, rng: np.random.Generator) -> KernelKind:
+        kinds = list(self.profile.kernel_mix.keys())
+        weights = np.array([self.profile.kernel_mix[k] for k in kinds], dtype=float)
+        weights = weights / weights.sum()
+        return kinds[int(rng.choice(len(kinds), p=weights))]
+
+    def _emit_kernel(
+        self, kind: KernelKind, rng: np.random.Generator, size: int, pool: RegisterPool
+    ) -> List[Tuple[UopClass, Tuple[int, ...], Tuple[int, ...]]]:
+        profile = self.profile
+        fp = profile.is_fp
+        if kind == KernelKind.SERIAL_CHAIN:
+            return KERNEL_FUNCTIONS[kind](
+                rng, size, pool, fp=fp,
+                load_fraction=profile.load_fraction,
+                long_latency_fraction=profile.long_latency_fraction,
+            )
+        if kind == KernelKind.PARALLEL_CHAINS:
+            return KERNEL_FUNCTIONS[kind](
+                rng, size, pool,
+                num_chains=profile.ilp, fp=fp,
+                load_fraction=profile.load_fraction,
+                store_fraction=profile.store_fraction,
+                cross_chain_fraction=profile.cross_chain_fraction,
+                long_latency_fraction=profile.long_latency_fraction,
+            )
+        if kind == KernelKind.REDUCTION:
+            return KERNEL_FUNCTIONS[kind](
+                rng, size, pool, fp=fp, load_fraction=profile.load_fraction
+            )
+        if kind == KernelKind.STREAM:
+            return KERNEL_FUNCTIONS[kind](
+                rng, size, pool, fp=fp,
+                long_latency_fraction=profile.long_latency_fraction,
+            )
+        if kind == KernelKind.BRANCHY:
+            return KERNEL_FUNCTIONS[kind](
+                rng, size, pool,
+                load_fraction=profile.load_fraction,
+                branch_fraction=profile.branch_fraction,
+            )
+        raise ValueError(f"unknown kernel kind {kind}")
+
+    # -- program construction ----------------------------------------------------
+    def generate_program(self, phase: int = 0) -> Program:
+        """Build the static program for simulation point ``phase``."""
+        profile = self.profile
+        rng = np.random.default_rng(self.phase_seed(phase))
+        blocks: List[BasicBlock] = []
+        cfg = ControlFlowGraph(entry=0)
+        next_sid = 0
+        num_blocks = profile.num_blocks
+        for bid in range(num_blocks):
+            pool = self._pool_for_block(bid)
+            kind = self._pick_kernel(rng)
+            size = max(3, int(rng.normal(profile.block_size_mean, profile.block_size_mean * 0.25)))
+            specs = self._emit_kernel(kind, rng, size, pool)
+            block = BasicBlock(bid, name=f"{kind.value}_{bid}")
+            for opclass, dests, srcs in specs:
+                block.append(StaticInstruction(next_sid, opclass, dests, srcs, block=bid))
+                next_sid += 1
+            # Every block ends with a branch reading the last produced value
+            # (or a live-in when the kernel produced only stores).
+            last_value = None
+            for inst in reversed(block.instructions):
+                if inst.dests:
+                    last_value = inst.dests[0]
+                    break
+            if last_value is None:
+                last_value = 0
+            block.append(StaticInstruction(next_sid, UopClass.BRANCH, (), (last_value,), block=bid))
+            next_sid += 1
+            blocks.append(block)
+
+        # Control flow: a ring of blocks with optional self-loops and skip
+        # edges; the last block always wraps around to the entry.
+        for bid in range(num_blocks):
+            succ = (bid + 1) % num_blocks
+            if rng.random() < profile.loop_fraction:
+                trips = max(2.0, rng.normal(profile.loop_trip_mean, profile.loop_trip_mean * 0.3))
+                p_back = 1.0 - 1.0 / trips
+                cfg.add_edge(bid, bid, probability=p_back, is_back_edge=True)
+                cfg.add_edge(bid, succ, probability=1.0 - p_back)
+                cfg.set_loop_trip_count(bid, trips)
+            elif rng.random() < profile.skip_fraction and bid + 2 < num_blocks:
+                cfg.add_edge(bid, succ, probability=0.7)
+                cfg.add_edge(bid, bid + 2, probability=0.3)
+            else:
+                cfg.add_edge(bid, succ, probability=1.0)
+
+        program = Program(
+            name=f"{profile.name}.p{phase}",
+            blocks=blocks,
+            cfg=cfg,
+            register_space=self.register_space,
+        )
+        program.validate()
+        return program
+
+    # -- trace construction ------------------------------------------------------
+    def address_model(self, phase: int = 0) -> AddressModel:
+        """Address model of the given phase (working set grows with the phase)."""
+        profile = self.profile
+        scale = 1.0 + phase * profile.phase_memory_scale
+        return AddressModel(
+            working_set_bytes=int(profile.working_set_kb * 1024 * scale),
+            strided_fraction=profile.strided_fraction,
+        )
+
+    def generate_trace(
+        self, num_uops: int, phase: int = 0, program: Optional[Program] = None
+    ) -> Tuple[Program, List[DynamicUop]]:
+        """Build (or reuse) the phase program and expand a dynamic trace from it.
+
+        Returns the program (so callers can run compiler passes on it before
+        or after expanding the trace -- annotations are shared by reference)
+        and the list of dynamic µops.
+        """
+        if program is None:
+            program = self.generate_program(phase)
+        generator = TraceGenerator(
+            program,
+            seed=self.phase_seed(phase) ^ 0x5BD1E995,
+            address_model=self.address_model(phase),
+            mispredict_rate=self.profile.mispredict_rate,
+        )
+        return program, generator.generate(num_uops)
+
+
+def generate_program(profile: BenchmarkProfile, phase: int = 0) -> Program:
+    """Convenience wrapper: build the static program of ``profile`` at ``phase``."""
+    return WorkloadGenerator(profile).generate_program(phase)

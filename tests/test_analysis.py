@@ -1,0 +1,189 @@
+"""Unit tests for the compiler analyses (repro.analysis)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.analysis.completion_time import CompletionTimeEstimator
+from repro.analysis.criticality import compute_criticality
+from repro.analysis.slack import compute_slack
+from repro.analysis.stats import ddg_statistics, program_statistics
+from repro.program.ddg import build_ddg
+from repro.uops.opcodes import UopClass, latency_of
+from tests.conftest import make_instruction
+
+
+def chain_ddg(length, opclass=UopClass.INT_ALU):
+    """A pure serial chain of ``length`` operations."""
+    instructions = [make_instruction(0, opclass, dests=(10,), srcs=(0,))]
+    for i in range(1, length):
+        instructions.append(make_instruction(i, opclass, dests=(10 + i,), srcs=(9 + i,)))
+    return build_ddg(instructions)
+
+
+class TestCriticality:
+    def test_serial_chain(self):
+        ddg = chain_ddg(4)
+        info = compute_criticality(ddg)
+        latency = latency_of(UopClass.INT_ALU)
+        assert info.depth == (0, latency, 2 * latency, 3 * latency)
+        assert info.height == (4 * latency, 3 * latency, 2 * latency, latency)
+        # Every node of a serial chain is critical.
+        assert info.critical_nodes() == [0, 1, 2, 3]
+        assert info.critical_path_length == 4 * latency
+
+    def test_independent_nodes_have_zero_depth(self, two_chain_block):
+        info = compute_criticality(build_ddg(two_chain_block.instructions))
+        assert info.depth[0] == 0 and info.depth[1] == 0
+
+    def test_criticality_is_depth_plus_height(self, simple_block):
+        info = compute_criticality(build_ddg(simple_block.instructions))
+        for node in range(len(info.depth)):
+            assert info.criticality[node] == info.depth[node] + info.height[node]
+
+    def test_long_latency_node_dominates_critical_path(self):
+        instructions = [
+            make_instruction(0, UopClass.INT_DIV, dests=(10,), srcs=(0,)),
+            make_instruction(1, UopClass.INT_ALU, dests=(11,), srcs=(1,)),
+            make_instruction(2, UopClass.INT_ALU, dests=(12,), srcs=(10,)),
+        ]
+        info = compute_criticality(build_ddg(instructions))
+        assert info.is_critical(0)
+        assert not info.is_critical(1)
+
+    def test_empty_ddg(self):
+        info = compute_criticality(build_ddg([]))
+        assert info.critical_path_length == 0
+
+
+class TestSlack:
+    def test_critical_nodes_have_zero_slack(self):
+        ddg = chain_ddg(5)
+        slack = compute_slack(ddg)
+        assert all(s == 0 for s in slack.node_slack)
+        assert all(slack.is_edge_critical(edge) for edge in ddg.edge_latency)
+
+    def test_off_critical_path_has_positive_slack(self):
+        instructions = [
+            make_instruction(0, UopClass.INT_DIV, dests=(10,), srcs=(0,)),  # 20 cycles
+            make_instruction(1, UopClass.INT_ALU, dests=(11,), srcs=(1,)),  # 1 cycle, slack
+            make_instruction(2, UopClass.INT_ALU, dests=(12,), srcs=(10, 11)),
+        ]
+        slack = compute_slack(build_ddg(instructions))
+        assert slack.node_slack[1] > 0
+        assert slack.node_slack[0] == 0
+
+    def test_edge_weight_monotone_in_slack(self):
+        instructions = [
+            make_instruction(0, UopClass.INT_DIV, dests=(10,), srcs=(0,)),
+            make_instruction(1, UopClass.INT_ALU, dests=(11,), srcs=(1,)),
+            make_instruction(2, UopClass.INT_ALU, dests=(12,), srcs=(10, 11)),
+        ]
+        slack = compute_slack(build_ddg(instructions))
+        critical_weight = slack.edge_weight((0, 2))
+        slack_weight = slack.edge_weight((1, 2))
+        assert critical_weight >= slack_weight >= 1
+
+    def test_node_weight_is_unit(self):
+        slack = compute_slack(chain_ddg(3))
+        assert slack.node_weight(0) == 1
+
+
+class TestCompletionTimeEstimator:
+    def test_serial_chain_accumulates_latency(self):
+        ddg = chain_ddg(3)
+        estimator = CompletionTimeEstimator(ddg, num_virtual_clusters=2)
+        latency = latency_of(UopClass.INT_ALU)
+        assert estimator.assign(0, 0) == latency
+        assert estimator.assign(1, 0) == 2 * latency
+        assert estimator.assign(2, 0) == 3 * latency
+
+    def test_cross_cluster_dependence_pays_communication(self):
+        ddg = chain_ddg(2)
+        estimator = CompletionTimeEstimator(ddg, num_virtual_clusters=2, communication_latency=3)
+        estimator.assign(0, 0)
+        same = estimator.estimate(1, 0)
+        other = estimator.estimate(1, 1)
+        assert other == same + 3
+
+    def test_absolute_contention_grows_with_load(self, two_chain_block):
+        ddg = build_ddg(two_chain_block.instructions)
+        estimator = CompletionTimeEstimator(
+            ddg, num_virtual_clusters=2, issue_width=1, contention_mode="absolute"
+        )
+        for node in range(4):
+            estimator.assign(node, 0)
+        assert estimator.contention_delay(0) == 4
+        assert estimator.contention_delay(1) == 0
+
+    def test_relative_contention_only_penalises_excess(self, two_chain_block):
+        ddg = build_ddg(two_chain_block.instructions)
+        estimator = CompletionTimeEstimator(
+            ddg, num_virtual_clusters=2, issue_width=1, contention_mode="relative"
+        )
+        estimator.assign(0, 0)
+        estimator.assign(1, 1)
+        # Balanced load: no contention anywhere.
+        assert estimator.contention_delay(0) == 0
+        assert estimator.contention_delay(1) == 0
+
+    def test_balance_metric(self):
+        ddg = chain_ddg(4)
+        estimator = CompletionTimeEstimator(ddg, num_virtual_clusters=2)
+        assert estimator.balance() == 1.0
+        estimator.assign(0, 0)
+        estimator.assign(1, 0)
+        assert estimator.balance() == pytest.approx(0.5, abs=1e-9)
+
+    def test_invalid_arguments(self):
+        ddg = chain_ddg(2)
+        with pytest.raises(ValueError):
+            CompletionTimeEstimator(ddg, num_virtual_clusters=0)
+        with pytest.raises(ValueError):
+            CompletionTimeEstimator(ddg, num_virtual_clusters=2, contention_mode="bogus")
+        estimator = CompletionTimeEstimator(ddg, num_virtual_clusters=2)
+        with pytest.raises(ValueError):
+            estimator.estimate(0, 5)
+
+
+class TestStats:
+    def test_serial_chain_ilp_is_low(self):
+        stats = ddg_statistics(chain_ddg(8))
+        assert stats.ilp == pytest.approx(8 / (8 * latency_of(UopClass.INT_ALU)))
+        assert stats.critical_fraction == 1.0
+
+    def test_parallel_chains_have_higher_ilp(self, two_chain_block):
+        stats = ddg_statistics(build_ddg(two_chain_block.instructions))
+        serial = ddg_statistics(chain_ddg(6))
+        assert stats.ilp > serial.ilp
+
+    def test_empty_ddg_statistics(self):
+        stats = ddg_statistics(build_ddg([]))
+        assert stats.num_nodes == 0 and stats.ilp == 0.0
+
+    def test_program_statistics_fields(self, tiny_program):
+        stats = program_statistics(tiny_program)
+        for key in (
+            "num_blocks",
+            "num_instructions",
+            "mean_block_size",
+            "fp_fraction",
+            "memory_fraction",
+            "branch_fraction",
+            "mean_block_ilp",
+            "mean_critical_path",
+        ):
+            assert key in stats
+        assert stats["num_blocks"] == 2
+        assert 0 <= stats["memory_fraction"] <= 1
+
+    @settings(max_examples=25, deadline=None)
+    @given(length=st.integers(min_value=1, max_value=40))
+    def test_criticality_bounds_property(self, length):
+        """depth+height of every node is bounded by the critical path and at least its latency."""
+        ddg = chain_ddg(length)
+        info = compute_criticality(ddg)
+        for node in range(length):
+            assert info.criticality[node] <= info.critical_path_length
+            assert info.height[node] >= ddg.instructions[node].latency

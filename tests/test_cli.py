@@ -1,0 +1,65 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.workloads.spec2000 import all_trace_names
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands_parse(self):
+        parser = build_parser()
+        for argv in (
+            ["list-benchmarks"],
+            ["table1"],
+            ["quickstart", "--benchmark", "181.mcf"],
+            ["figure5", "--benchmarks", "164.gzip-1", "--trace-length", "500"],
+            ["figure7", "--phases", "2"],
+        ):
+            args = parser.parse_args(argv)
+            assert callable(args.handler)
+
+
+class TestCommands:
+    def test_list_benchmarks(self, capsys):
+        assert main(["list-benchmarks", "--suite", "fp"]) == 0
+        out = capsys.readouterr().out
+        assert "178.galgel" in out
+        assert len(out.strip().splitlines()) == len(all_trace_names("fp"))
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "dependence check" in out and "VC" in out
+
+    def test_quickstart(self, capsys):
+        assert main(["quickstart", "--benchmark", "164.gzip-1", "--trace-length", "800"]) == 0
+        out = capsys.readouterr().out
+        assert "one-cluster" in out and "slowdown vs OP (%)" in out
+
+    def test_figure5_subset(self, capsys):
+        assert (
+            main(
+                [
+                    "figure5",
+                    "--benchmarks",
+                    "164.gzip-1",
+                    "178.galgel",
+                    "--trace-length",
+                    "800",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Figure 5(c)" in out and "CPU2000 AVG (%)" in out
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure5", "--benchmarks", "999.bogus", "--trace-length", "500"])

@@ -1,0 +1,91 @@
+"""Tests for the hardware complexity model (Table 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.config import ClusterConfig, four_cluster_config
+from repro.complexity.model import SteeringComplexityModel, complexity_table
+from repro.experiments.table1 import paper_table1_claims, run_table1
+from repro.steering.occupancy import OccupancyAwareSteering
+from repro.steering.one_cluster import OneClusterSteering
+from repro.steering.virtual_cluster import VirtualClusterSteering
+
+
+class TestComplexityModel:
+    def test_cluster_id_bits(self):
+        model = SteeringComplexityModel(ClusterConfig(num_clusters=2))
+        assert model.cluster_id_bits() == 1
+        model4 = SteeringComplexityModel(four_cluster_config())
+        assert model4.cluster_id_bits() == 2
+
+    def test_op_needs_more_storage_than_vc(self):
+        model = SteeringComplexityModel(ClusterConfig())
+        op = model.estimate(OccupancyAwareSteering())
+        vc = model.estimate(VirtualClusterSteering(2))
+        assert op.storage_bits > 4 * vc.storage_bits
+        assert op.serialized_decision and not vc.serialized_decision
+
+    def test_one_cluster_has_no_storage(self):
+        model = SteeringComplexityModel(ClusterConfig())
+        estimate = model.estimate(OneClusterSteering())
+        assert estimate.storage_bits == 0
+
+    def test_vc_storage_scales_with_mapping_table(self):
+        model = SteeringComplexityModel(ClusterConfig())
+        small = model.estimate(VirtualClusterSteering(2)).storage_bits
+        large = model.estimate(VirtualClusterSteering(8)).storage_bits
+        assert large > small
+
+    def test_dependence_check_scales_with_register_count(self):
+        small = SteeringComplexityModel(ClusterConfig(), num_architectural_registers=64)
+        large = SteeringComplexityModel(ClusterConfig(), num_architectural_registers=256)
+        assert large.dependence_check_bits() > small.dependence_check_bits()
+
+    def test_complexity_table_rows(self):
+        rows = complexity_table([OccupancyAwareSteering(), VirtualClusterSteering(2)])
+        assert len(rows) == 2
+        assert rows[0]["steering algorithm"] == "OP"
+        assert set(rows[0]) >= {
+            "dependence check",
+            "workload balance management",
+            "vote unit",
+            "copy generator",
+        }
+
+
+class TestTable1Reproduction:
+    def test_paper_claims_hold(self):
+        rows = run_table1()
+        claims = paper_table1_claims(rows)
+        assert all(claims.values()), claims
+
+    def test_table_covers_all_five_configurations(self):
+        rows = run_table1()
+        names = {row["steering algorithm"] for row in rows}
+        assert names >= {"OP", "one-cluster", "OB", "RHOP", "VC"}
+
+    def test_table1_yes_no_pattern_matches_paper(self):
+        rows = {row["steering algorithm"]: row for row in run_table1()}
+        # Table 1 (paper): OP needs dependence check + vote unit, VC does not;
+        # both manage workload balance.
+        assert rows["OP"]["dependence check"] == "yes"
+        assert rows["OP"]["vote unit"] == "yes"
+        assert rows["VC"]["dependence check"] == "no"
+        assert rows["VC"]["vote unit"] == "no"
+        assert rows["OP"]["workload balance management"] == "yes"
+        assert rows["VC"]["workload balance management"] == "yes"
+        # Software-only schemes need neither the dependence check nor counters.
+        assert rows["RHOP"]["dependence check"] == "no"
+        assert rows["OB"]["workload balance management"] == "no"
+
+    def test_extra_policies_included(self):
+        from repro.steering.baselines import RoundRobinSteering
+
+        rows = run_table1(extra_policies=[RoundRobinSteering()])
+        assert any(row["steering algorithm"] == "round-robin" for row in rows)
+
+    def test_four_cluster_machine_increases_op_cost(self):
+        two = {r["steering algorithm"]: r for r in run_table1(ClusterConfig(num_clusters=2))}
+        four = {r["steering algorithm"]: r for r in run_table1(four_cluster_config())}
+        assert four["OP"]["storage bits"] > two["OP"]["storage bits"]

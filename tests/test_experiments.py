@@ -1,0 +1,208 @@
+"""Tests of the experiment harness (repro.experiments)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ablations import sweep_link_latency, sweep_virtual_clusters
+from repro.experiments.configs import (
+    TABLE3_CONFIGURATIONS,
+    make_configuration,
+    table3_configurations,
+)
+from repro.experiments.figure5 import FIGURE5_CONFIGURATIONS, run_figure5
+from repro.experiments.figure6 import FIGURE6_COMPARISONS, run_figure6
+from repro.experiments.figure7 import FIGURE7_CONFIGURATIONS, run_figure7
+from repro.experiments.report import format_key_values, format_table
+from repro.experiments.runner import (
+    ExperimentRunner,
+    ExperimentSettings,
+    reduction_percent,
+    slowdown_percent,
+    speedup_percent,
+)
+
+#: Tiny settings so harness tests stay fast.
+FAST = ExperimentSettings(num_clusters=2, num_virtual_clusters=2, trace_length=800, max_phases=1)
+FAST4 = ExperimentSettings(num_clusters=4, num_virtual_clusters=4, trace_length=800, max_phases=1)
+SMALL_SET = ["164.gzip-1", "178.galgel"]
+
+
+class TestConfigs:
+    def test_table3_has_five_configurations(self):
+        assert set(TABLE3_CONFIGURATIONS) == {"OP", "one-cluster", "OB", "RHOP", "VC"}
+
+    def test_make_configuration_unknown(self):
+        with pytest.raises(KeyError):
+            make_configuration("bogus")
+
+    def test_compiler_usage_flags(self):
+        assert not TABLE3_CONFIGURATIONS["OP"].uses_compiler
+        assert not TABLE3_CONFIGURATIONS["one-cluster"].uses_compiler
+        assert TABLE3_CONFIGURATIONS["OB"].uses_compiler
+        assert TABLE3_CONFIGURATIONS["RHOP"].uses_compiler
+        assert TABLE3_CONFIGURATIONS["VC"].uses_compiler
+
+    def test_factories_produce_fresh_policies(self):
+        config = TABLE3_CONFIGURATIONS["VC"]
+        a = config.make_policy(2, 2)
+        b = config.make_policy(2, 2)
+        assert a is not b
+
+    def test_table3_order(self):
+        names = [c.name for c in table3_configurations()]
+        assert names == ["OP", "one-cluster", "OB", "RHOP", "VC"]
+        assert "OP" not in [c.name for c in table3_configurations(include_baseline=False)]
+
+
+class TestComparisonHelpers:
+    def test_slowdown_percent(self):
+        assert slowdown_percent(110, 100) == pytest.approx(10.0)
+        assert slowdown_percent(100, 100) == pytest.approx(0.0)
+        with pytest.raises(ValueError):
+            slowdown_percent(10, 0)
+
+    def test_speedup_percent(self):
+        assert speedup_percent(100, 120) == pytest.approx(20.0)
+        assert speedup_percent(120, 100) == pytest.approx(-16.67, abs=0.01)
+
+    def test_reduction_percent(self):
+        assert reduction_percent(50, 100) == pytest.approx(50.0)
+        assert reduction_percent(100, 0) == 0.0
+
+
+class TestRunner:
+    def test_benchmark_result_weighted_aggregates(self):
+        runner = ExperimentRunner(FAST)
+        result = runner.run_benchmark("164.gzip-1", TABLE3_CONFIGURATIONS["OP"])
+        assert result.configuration == "OP"
+        assert result.cycles > 0 and result.committed_uops > 0
+        assert 0 < result.ipc <= 6
+        assert len(result.phase_results) == 1
+
+    def test_trace_cache_shared_across_configurations(self):
+        runner = ExperimentRunner(FAST)
+        a = runner.run_benchmark("164.gzip-1", TABLE3_CONFIGURATIONS["OP"])
+        b = runner.run_benchmark("164.gzip-1", TABLE3_CONFIGURATIONS["VC"])
+        # Both configurations executed the exact same µop stream.
+        assert a.committed_uops == b.committed_uops
+
+    def test_run_suite_structure(self):
+        runner = ExperimentRunner(FAST)
+        configurations = [TABLE3_CONFIGURATIONS["OP"], TABLE3_CONFIGURATIONS["VC"]]
+        results = runner.run_suite(["164.gzip-1"], configurations)
+        assert set(results) == {"164.gzip-1"}
+        assert set(results["164.gzip-1"]) == {"OP", "VC"}
+
+    def test_machine_config_overrides(self):
+        settings = ExperimentSettings(config_overrides={"link_latency": 4})
+        assert settings.machine_config().link_latency == 4
+
+    def test_runner_is_deterministic(self):
+        a = ExperimentRunner(FAST).run_benchmark("164.gzip-1", TABLE3_CONFIGURATIONS["VC"])
+        b = ExperimentRunner(FAST).run_benchmark("164.gzip-1", TABLE3_CONFIGURATIONS["VC"])
+        assert a.cycles == b.cycles and a.copies == b.copies
+
+
+class TestFigure5:
+    def test_structure_and_baseline(self):
+        result = run_figure5(FAST, benchmarks=SMALL_SET)
+        assert set(result.slowdowns) == set(SMALL_SET)
+        for per_config in result.slowdowns.values():
+            assert set(per_config) == set(FIGURE5_CONFIGURATIONS)
+        assert result.int_benchmarks == ["164.gzip-1"]
+        assert result.fp_benchmarks == ["178.galgel"]
+
+    def test_averages_table_rows(self):
+        result = run_figure5(FAST, benchmarks=SMALL_SET)
+        rows = result.averages_table()
+        assert [row["configuration"] for row in rows] == list(FIGURE5_CONFIGURATIONS)
+        for row in rows:
+            assert "CPU2000 AVG (%)" in row
+
+    def test_one_cluster_is_clearly_slower_than_op(self):
+        result = run_figure5(FAST, benchmarks=SMALL_SET)
+        assert result.average("one-cluster", "all") > 10.0
+
+    def test_requires_two_cluster_machine(self):
+        with pytest.raises(ValueError):
+            run_figure5(FAST4, benchmarks=SMALL_SET)
+
+    def test_benchmark_rows(self):
+        result = run_figure5(FAST, benchmarks=SMALL_SET)
+        rows = result.benchmark_rows("int")
+        assert rows[0]["benchmark"] == "164.gzip-1"
+        assert "VC (%)" in rows[0]
+
+
+class TestFigure6:
+    def test_points_cover_all_comparisons(self):
+        result = run_figure6(FAST, benchmarks=["164.gzip-1"])
+        comparisons = {p.comparison for p in result.points}
+        assert comparisons == set(FIGURE6_COMPARISONS)
+        # One phase, three comparisons.
+        assert len(result.points) == 3
+
+    def test_summary_fields(self):
+        result = run_figure6(FAST, benchmarks=SMALL_SET)
+        summary = result.summary("OB")
+        assert summary["num_traces"] == 2.0
+        assert 0.0 <= summary["fraction_with_copy_reduction"] <= 1.0
+        assert result.summary("nonexistent")["num_traces"] == 0.0
+
+    def test_points_reference_phase_labels(self):
+        result = run_figure6(FAST, benchmarks=["164.gzip-1"])
+        assert all(point.trace.startswith("164.gzip-1/p") for point in result.points)
+
+
+class TestFigure7:
+    def test_structure(self):
+        result = run_figure7(FAST4, benchmarks=SMALL_SET)
+        for per_config in result.slowdowns.values():
+            assert set(per_config) == set(FIGURE7_CONFIGURATIONS)
+        rows = result.averages_table()
+        assert [row["configuration"] for row in rows] == list(FIGURE7_CONFIGURATIONS)
+        assert isinstance(result.copy_overhead_4to4_vs_2to4(), float)
+
+    def test_requires_four_cluster_machine(self):
+        with pytest.raises(ValueError):
+            run_figure7(FAST, benchmarks=SMALL_SET)
+
+
+class TestAblations:
+    def test_virtual_cluster_sweep_structure(self):
+        result = sweep_virtual_clusters(
+            counts=(1, 2),
+            benchmarks=["164.gzip-1"],
+            base_settings=FAST,
+        )
+        assert result.parameter == "num_virtual_clusters"
+        assert result.values() == [1, 2]
+        for value in result.values():
+            names = {p.configuration for p in result.for_value(value)}
+            assert "OP" in names
+
+    def test_link_latency_sweep_records_slowdowns(self):
+        result = sweep_link_latency(
+            latencies=(1, 4), benchmarks=["164.gzip-1"], base_settings=FAST
+        )
+        vc_points = [p for p in result.points if p.configuration == "VC"]
+        assert all(p.slowdown_vs_op is not None for p in vc_points)
+        op_points = [p for p in result.points if p.configuration == "OP"]
+        assert all(p.slowdown_vs_op is None for p in op_points)
+
+
+class TestReport:
+    def test_format_table_plain_and_markdown(self):
+        rows = [{"name": "a", "value": 1.234}, {"name": "bb", "value": 5.0}]
+        plain = format_table(rows, title="T")
+        markdown = format_table(rows, markdown=True)
+        assert "T" in plain and "1.23" in plain
+        assert markdown.startswith("| name | value |")
+
+    def test_format_table_empty(self):
+        assert "(no data)" in format_table([], title="x")
+
+    def test_format_key_values(self):
+        text = format_key_values({"cycles": 120, "ipc": 1.5}, title="metrics")
+        assert "cycles" in text and "1.50" in text

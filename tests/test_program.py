@@ -1,0 +1,253 @@
+"""Unit tests for the compiler IR (repro.program)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.program.basic_block import BasicBlock
+from repro.program.cfg import ControlFlowGraph
+from repro.program.ddg import build_ddg
+from repro.program.program import Program
+from repro.program.regions import form_regions, region_of_block
+from repro.program.trace import AddressModel, TraceGenerator, expand_trace
+from repro.uops.opcodes import UopClass
+from repro.uops.uop import StaticInstruction
+from tests.conftest import make_instruction
+
+
+class TestBasicBlock:
+    def test_append_claims_instruction(self):
+        block = BasicBlock(3)
+        inst = make_instruction(0, block=7)
+        block.append(inst)
+        assert inst.block == 3
+        assert len(block) == 1
+
+    def test_terminator_detection(self, simple_block):
+        assert simple_block.terminator is not None
+        assert simple_block.terminator.is_branch
+        block = BasicBlock(1, [make_instruction(0, dests=(10,))])
+        assert block.terminator is None
+
+    def test_register_sets(self, simple_block):
+        assert 10 in simple_block.defined_registers
+        assert 0 in simple_block.used_registers
+        # R10 is defined before use, so it is not a live-in.
+        assert 10 not in simple_block.live_in_registers
+        assert 0 in simple_block.live_in_registers
+
+    def test_iteration_and_indexing(self, simple_block):
+        assert [i.sid for i in simple_block] == [0, 1, 2, 3, 4]
+        assert simple_block[1].sid == 1
+
+
+class TestControlFlowGraph:
+    def test_edges_and_successors(self):
+        cfg = ControlFlowGraph(entry=0)
+        cfg.add_edge(0, 1, probability=0.6)
+        cfg.add_edge(0, 2, probability=0.4)
+        assert {e.dst for e in cfg.successors(0)} == {1, 2}
+        assert cfg.most_likely_successor(0) == 1
+        assert {e.src for e in cfg.predecessors(1)} == {0}
+
+    def test_back_edges_excluded_from_most_likely(self):
+        cfg = ControlFlowGraph(entry=0)
+        cfg.add_edge(0, 0, probability=0.9, is_back_edge=True)
+        cfg.add_edge(0, 1, probability=0.1)
+        assert cfg.most_likely_successor(0) == 1
+        assert cfg.loop_headers() == [0]
+
+    def test_validate_probability_sum(self):
+        cfg = ControlFlowGraph(entry=0)
+        cfg.add_edge(0, 1, probability=0.5)
+        with pytest.raises(ValueError):
+            cfg.validate()
+        cfg.add_edge(0, 2, probability=0.5)
+        cfg.validate()
+
+    def test_validate_missing_entry(self):
+        cfg = ControlFlowGraph(entry=9)
+        cfg.add_edge(0, 1)
+        with pytest.raises(ValueError):
+            cfg.validate()
+
+    def test_invalid_probability_rejected(self):
+        cfg = ControlFlowGraph()
+        with pytest.raises(ValueError):
+            cfg.add_edge(0, 1, probability=1.5)
+
+    def test_to_networkx(self):
+        cfg = ControlFlowGraph(entry=0)
+        cfg.add_edge(0, 1)
+        graph = cfg.to_networkx()
+        assert graph.has_edge(0, 1)
+        assert graph.edges[0, 1]["probability"] == 1.0
+
+
+class TestProgram:
+    def test_validation_and_counts(self, tiny_program):
+        assert tiny_program.num_blocks == 2
+        assert tiny_program.num_instructions == 8
+        assert tiny_program.instruction_by_sid(10).opclass == UopClass.INT_ALU
+
+    def test_duplicate_sid_rejected(self, simple_block):
+        other = BasicBlock(1, [make_instruction(0, dests=(20,))])
+        cfg = ControlFlowGraph(entry=0)
+        cfg.add_edge(0, 1)
+        cfg.add_edge(1, 0)
+        program = Program("dup", [simple_block, other], cfg)
+        with pytest.raises(ValueError):
+            program.validate()
+
+    def test_register_out_of_range_rejected(self):
+        block = BasicBlock(0, [make_instruction(0, dests=(10_000,))])
+        cfg = ControlFlowGraph(entry=0)
+        cfg.add_block(0)
+        program = Program("bad", [block], cfg)
+        with pytest.raises(ValueError):
+            program.validate()
+
+    def test_clear_annotations_and_summary(self, tiny_program):
+        for inst in tiny_program.all_instructions():
+            inst.vc_id = 0
+            inst.chain_leader = True
+        summary = tiny_program.annotation_summary()
+        assert summary["vc_annotated"] == tiny_program.num_instructions
+        tiny_program.clear_annotations()
+        summary = tiny_program.annotation_summary()
+        assert summary["vc_annotated"] == 0 and summary["chain_leaders"] == 0
+
+
+class TestDDG:
+    def test_simple_chain_edges(self, simple_block):
+        ddg = build_ddg(simple_block.instructions)
+        assert (0, 1) in ddg.edge_latency  # R10 feeds the load
+        assert (1, 2) in ddg.edge_latency  # load feeds the add
+        assert (2, 4) in ddg.edge_latency  # add feeds the branch
+        assert (3, 4) not in ddg.edge_latency  # independent chain does not feed the branch
+        assert ddg.num_edges == 3
+
+    def test_roots_and_leaves(self, two_chain_block):
+        ddg = build_ddg(two_chain_block.instructions)
+        assert set(ddg.roots()) == {0, 1}
+        assert set(ddg.leaves()) == {4, 5}
+
+    def test_redefinition_breaks_dependence(self):
+        instructions = [
+            make_instruction(0, dests=(10,), srcs=(0,)),
+            make_instruction(1, dests=(10,), srcs=(1,)),  # redefines R10
+            make_instruction(2, dests=(11,), srcs=(10,)),  # reads the *second* definition
+        ]
+        ddg = build_ddg(instructions)
+        assert (1, 2) in ddg.edge_latency
+        assert (0, 2) not in ddg.edge_latency
+
+    def test_memory_edges_optional(self):
+        instructions = [
+            make_instruction(0, UopClass.STORE, dests=(), srcs=(0, 1)),
+            make_instruction(1, UopClass.LOAD, dests=(10,), srcs=(2,)),
+        ]
+        assert build_ddg(instructions).num_edges == 0
+        assert build_ddg(instructions, include_memory_edges=True).num_edges == 1
+
+    def test_edge_latency_matches_producer(self, simple_block):
+        ddg = build_ddg(simple_block.instructions)
+        assert ddg.edge_latency[(0, 1)] == simple_block.instructions[0].latency
+
+    def test_self_edge_rejected(self, simple_block):
+        ddg = build_ddg(simple_block.instructions)
+        with pytest.raises(ValueError):
+            ddg.add_edge(1, 1)
+
+    def test_to_networkx_is_a_dag(self, simple_block):
+        import networkx as nx
+
+        graph = build_ddg(simple_block.instructions).to_networkx()
+        assert nx.is_directed_acyclic_graph(graph)
+
+
+class TestRegions:
+    def test_every_block_in_exactly_one_region(self, tiny_program):
+        regions = form_regions(tiny_program, max_instructions=100)
+        mapping = region_of_block(regions)
+        assert set(mapping) == set(tiny_program.blocks)
+
+    def test_region_size_respected(self, small_profile):
+        from repro.workloads.generator import WorkloadGenerator
+
+        program = WorkloadGenerator(small_profile).generate_program(0)
+        for max_size in (16, 64, 200):
+            regions = form_regions(program, max_instructions=max_size)
+            for region in regions:
+                # A region may exceed the budget only when its single seed
+                # block is itself larger than the budget.
+                assert len(region) <= max(max_size, max(len(b) for b in program.blocks.values()))
+
+    def test_zero_budget_rejected(self, tiny_program):
+        with pytest.raises(ValueError):
+            form_regions(tiny_program, max_instructions=0)
+
+    def test_regions_cover_all_instructions_once(self, small_profile):
+        from repro.workloads.generator import WorkloadGenerator
+
+        program = WorkloadGenerator(small_profile).generate_program(0)
+        regions = form_regions(program, max_instructions=128)
+        sids = [inst.sid for region in regions for inst in region.instructions]
+        assert len(sids) == len(set(sids)) == program.num_instructions
+
+
+class TestTraceGeneration:
+    def test_deterministic_for_same_seed(self, tiny_program):
+        a = expand_trace(tiny_program, 200, seed=3)
+        b = expand_trace(tiny_program, 200, seed=3)
+        assert [u.static.sid for u in a] == [u.static.sid for u in b]
+        assert [u.address for u in a] == [u.address for u in b]
+
+    def test_different_seeds_differ(self, tiny_program):
+        a = expand_trace(tiny_program, 300, seed=1)
+        b = expand_trace(tiny_program, 300, seed=2)
+        assert [u.static.sid for u in a] != [u.static.sid for u in b]
+
+    def test_length_is_at_least_requested(self, tiny_program):
+        trace = expand_trace(tiny_program, 123, seed=0)
+        assert len(trace) >= 123
+
+    def test_sequence_numbers_are_consecutive(self, tiny_program):
+        trace = expand_trace(tiny_program, 100, seed=0)
+        assert [u.seq for u in trace] == list(range(len(trace)))
+
+    def test_memory_uops_have_addresses_within_working_set(self, tiny_program):
+        model = AddressModel(working_set_bytes=4096)
+        trace = expand_trace(tiny_program, 400, seed=5, address_model=model)
+        for uop in trace:
+            if uop.is_memory:
+                assert 0 <= uop.address < 4096
+
+    def test_mispredictions_only_on_branches(self, tiny_program):
+        trace = expand_trace(tiny_program, 400, seed=5, mispredict_rate=0.5)
+        assert any(u.mispredicted for u in trace)
+        for uop in trace:
+            if uop.mispredicted:
+                assert uop.is_branch
+
+    def test_zero_mispredict_rate(self, tiny_program):
+        trace = expand_trace(tiny_program, 400, seed=5, mispredict_rate=0.0)
+        assert not any(u.mispredicted for u in trace)
+
+    def test_invalid_parameters_rejected(self, tiny_program):
+        with pytest.raises(ValueError):
+            expand_trace(tiny_program, 0)
+        with pytest.raises(ValueError):
+            TraceGenerator(tiny_program, mispredict_rate=1.5)
+
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(num_uops=st.integers(min_value=1, max_value=500), seed=st.integers(0, 2**16))
+    def test_trace_uops_reference_program_instructions(self, tiny_program, num_uops, seed):
+        trace = expand_trace(tiny_program, num_uops, seed=seed)
+        valid_sids = {inst.sid for inst in tiny_program.all_instructions()}
+        assert all(u.static.sid in valid_sids for u in trace)

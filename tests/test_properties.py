@@ -1,0 +1,199 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.analysis.criticality import compute_criticality
+from repro.analysis.slack import compute_slack
+from repro.cluster.config import ClusterConfig
+from repro.cluster.processor import simulate_trace
+from repro.partition.chains import identify_chains
+from repro.partition.multilevel import MultilevelPartitioner
+from repro.partition.vc_partitioner import VirtualClusterPartitioner
+from repro.program.ddg import build_ddg
+from repro.steering.virtual_cluster import VirtualClusterSteering
+from repro.uops.opcodes import UopClass
+from repro.uops.uop import DynamicUop, StaticInstruction
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+OPCLASSES = st.sampled_from(
+    [
+        UopClass.INT_ALU,
+        UopClass.INT_MUL,
+        UopClass.LOAD,
+        UopClass.STORE,
+        UopClass.FP_ADD,
+        UopClass.BRANCH,
+    ]
+)
+
+
+@st.composite
+def instruction_sequences(draw, min_size=2, max_size=60):
+    """Random but well-formed program-ordered instruction sequences."""
+    size = draw(st.integers(min_value=min_size, max_value=max_size))
+    instructions = []
+    for sid in range(size):
+        opclass = draw(OPCLASSES)
+        num_srcs = draw(st.integers(min_value=0, max_value=2))
+        srcs = tuple(draw(st.integers(min_value=0, max_value=31)) for _ in range(num_srcs))
+        if opclass in (UopClass.STORE, UopClass.BRANCH):
+            dests = ()
+        else:
+            dests = (draw(st.integers(min_value=0, max_value=31)),)
+        instructions.append(StaticInstruction(sid, opclass, dests, srcs))
+    return instructions
+
+
+common_settings = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# ---------------------------------------------------------------------------
+# DDG / analysis invariants
+# ---------------------------------------------------------------------------
+
+
+class TestDDGProperties:
+    @common_settings
+    @given(instructions=instruction_sequences())
+    def test_ddg_edges_respect_program_order(self, instructions):
+        ddg = build_ddg(instructions)
+        for producer, consumer in ddg.edge_latency:
+            assert producer < consumer
+
+    @common_settings
+    @given(instructions=instruction_sequences())
+    def test_ddg_is_acyclic(self, instructions):
+        import networkx as nx
+
+        graph = build_ddg(instructions).to_networkx()
+        assert nx.is_directed_acyclic_graph(graph)
+
+    @common_settings
+    @given(instructions=instruction_sequences())
+    def test_criticality_consistency(self, instructions):
+        ddg = build_ddg(instructions)
+        info = compute_criticality(ddg)
+        for node in range(len(ddg)):
+            assert info.criticality[node] == info.depth[node] + info.height[node]
+            assert info.height[node] >= ddg.instructions[node].latency
+            assert info.criticality[node] <= info.critical_path_length
+            for pred in ddg.preds[node]:
+                assert info.depth[node] >= info.depth[pred] + ddg.edge_latency[(pred, node)]
+
+    @common_settings
+    @given(instructions=instruction_sequences())
+    def test_slack_non_negative_and_zero_on_critical_path(self, instructions):
+        ddg = build_ddg(instructions)
+        slack = compute_slack(ddg)
+        assert all(s >= 0 for s in slack.node_slack)
+        assert all(s >= 0 for s in slack.edge_slack.values())
+        critical = slack.criticality.critical_nodes()
+        assert critical, "every non-empty DDG has at least one critical node"
+        assert all(slack.node_slack[node] == 0 for node in critical)
+
+
+# ---------------------------------------------------------------------------
+# Partitioning invariants
+# ---------------------------------------------------------------------------
+
+
+class TestPartitionProperties:
+    @common_settings
+    @given(instructions=instruction_sequences(), vcs=st.integers(min_value=1, max_value=4))
+    def test_vc_partition_complete_and_in_range(self, instructions, vcs):
+        ddg = build_ddg(instructions)
+        assignment = VirtualClusterPartitioner(vcs).partition_region(ddg)
+        assert len(assignment) == len(ddg)
+        assert all(0 <= vc < vcs for vc in assignment)
+
+    @common_settings
+    @given(instructions=instruction_sequences(), vcs=st.integers(min_value=1, max_value=4))
+    def test_chains_partition_the_ddg(self, instructions, vcs):
+        ddg = build_ddg(instructions)
+        assignment = VirtualClusterPartitioner(vcs).partition_region(ddg)
+        chains, leaders = identify_chains(ddg, assignment)
+        nodes = sorted(n for chain in chains for n in chain.nodes)
+        assert nodes == list(range(len(ddg)))
+        assert sum(leaders) == len(chains)
+        for chain in chains:
+            assert leaders[chain.leader]
+            assert all(assignment[node] == chain.vc_id for node in chain.nodes)
+
+    @common_settings
+    @given(
+        instructions=instruction_sequences(),
+        parts=st.integers(min_value=2, max_value=4),
+    )
+    def test_multilevel_partition_respects_parts(self, instructions, parts):
+        ddg = build_ddg(instructions)
+        slack = compute_slack(ddg)
+        weights = [1] * len(ddg)
+        edges = {edge: slack.edge_weight(edge) for edge in ddg.edge_latency}
+        assignment = MultilevelPartitioner(parts).partition(weights, edges)
+        assert len(assignment) == len(ddg)
+        assert all(0 <= part < parts for part in assignment)
+
+
+# ---------------------------------------------------------------------------
+# Simulator invariants
+# ---------------------------------------------------------------------------
+
+
+def trace_from_instructions(instructions):
+    trace = []
+    for i, inst in enumerate(instructions):
+        address = (i * 64) % 4096 if inst.is_memory else 0
+        trace.append(DynamicUop(i, inst, address=address))
+    return trace
+
+
+class TestSimulatorProperties:
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(instructions=instruction_sequences(min_size=5, max_size=80))
+    def test_simulation_commits_everything_and_is_deterministic(self, instructions):
+        trace = trace_from_instructions(instructions)
+        config = ClusterConfig(fetch_to_dispatch_latency=1, warm_caches=False)
+        policy = VirtualClusterSteering(2)
+        first = simulate_trace(trace, policy, config)
+        second = simulate_trace(trace, VirtualClusterSteering(2), config)
+        assert first.committed_uops == len(trace)
+        assert first.cycles == second.cycles
+        assert first.copies_generated == second.copies_generated
+
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(instructions=instruction_sequences(min_size=5, max_size=80))
+    def test_cycles_bounded_below_by_width_and_above_by_serial_execution(self, instructions):
+        trace = trace_from_instructions(instructions)
+        config = ClusterConfig(fetch_to_dispatch_latency=1, warm_caches=False)
+        metrics = simulate_trace(trace, VirtualClusterSteering(2), config)
+        # Lower bound: dispatch width limits throughput.
+        assert metrics.cycles >= len(trace) / config.dispatch_width
+        # Upper bound: even fully serialised execution with worst-case memory
+        # latency per µop cannot take longer than this.
+        worst_per_uop = config.memory_latency + config.fetch_to_dispatch_latency + 32
+        assert metrics.cycles <= len(trace) * worst_per_uop
+
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        instructions=instruction_sequences(min_size=5, max_size=60),
+        num_clusters=st.integers(min_value=1, max_value=4),
+    )
+    def test_dispatch_distribution_sums_to_trace_length(self, instructions, num_clusters):
+        trace = trace_from_instructions(instructions)
+        config = ClusterConfig(
+            num_clusters=num_clusters, fetch_to_dispatch_latency=1, warm_caches=False
+        )
+        metrics = simulate_trace(trace, VirtualClusterSteering(2), config)
+        assert sum(metrics.cluster_dispatch) == len(trace)
+        assert metrics.committed_uops == len(trace)
