@@ -25,8 +25,10 @@ import os
 
 import pytest
 
+from repro.cluster.config import ClusterConfig
 from repro.experiments.runner import ExperimentSettings
-from repro.workloads.spec2000 import all_trace_names
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.spec2000 import all_trace_names, profile_for
 
 #: Default benchmark subset: a spread of regular / branchy / memory-bound
 #: integer traces and low- / high-ILP floating-point traces.
@@ -92,3 +94,39 @@ def four_cluster_settings() -> ExperimentSettings:
 def bench_benchmarks() -> list[str]:
     """Trace names evaluated by the figure benchmarks."""
     return benchmark_names()
+
+
+# -- substrate fixtures shared by the micro-benchmarks ---------------------------
+#: Dynamic µops per substrate micro-benchmark trace.
+SUBSTRATE_TRACE_LENGTH = 4000
+
+
+@pytest.fixture(scope="session")
+def substrate_trace_length() -> int:
+    """Dynamic µops per substrate micro-benchmark trace."""
+    return SUBSTRATE_TRACE_LENGTH
+
+
+@pytest.fixture(scope="session")
+def substrate_config() -> ClusterConfig:
+    """The 2-cluster Table 2 machine used by the substrate micro-benchmarks."""
+    return ClusterConfig(num_clusters=2)
+
+
+@pytest.fixture(scope="session")
+def gzip_trace():
+    """Shared ``(program, trace)`` of 164.gzip-1 phase 0 at the substrate length.
+
+    Session-scoped so the simulator-throughput benchmarks measure simulation
+    only, not repeated trace synthesis.  Compile-time passes may (re)annotate
+    the program freely: annotations never change the µop stream, and every
+    policy benchmark annotates or ignores them explicitly.
+    """
+    generator = WorkloadGenerator(profile_for("164.gzip-1"))
+    return generator.generate_trace(SUBSTRATE_TRACE_LENGTH, phase=0)
+
+
+@pytest.fixture(scope="session")
+def galgel_program():
+    """Shared static program of 178.galgel phase 0 (partitioner benchmarks)."""
+    return WorkloadGenerator(profile_for("178.galgel")).generate_program(0)

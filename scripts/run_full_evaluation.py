@@ -8,11 +8,17 @@ machines, and the Figure 6 trade-off summaries.  Results are written to
 
 Usage::
 
-    python scripts/run_full_evaluation.py [trace_length] [max_phases]
+    python scripts/run_full_evaluation.py [trace_length] [max_phases] [jobs]
+
+``jobs`` (default 1) fans the simulation job matrix out over worker
+processes via the experiment engine; results are bit-identical for any
+value.  Set ``REPRO_CACHE_DIR`` to reuse the on-disk result cache across
+invocations (already-simulated points are skipped).
 """
 
 from __future__ import annotations
 
+import os
 import sys
 import time
 from pathlib import Path
@@ -28,6 +34,8 @@ from repro.experiments.table1 import run_table1
 def main() -> None:
     trace_length = int(sys.argv[1]) if len(sys.argv) > 1 else 2500
     max_phases = int(sys.argv[2]) if len(sys.argv) > 2 else 1
+    jobs = int(sys.argv[3]) if len(sys.argv) > 3 else 1
+    cache_dir = os.environ.get("REPRO_CACHE_DIR")
     out_dir = Path(__file__).resolve().parent.parent / "results"
     out_dir.mkdir(exist_ok=True)
     out_path = out_dir / "full_evaluation.txt"
@@ -39,7 +47,7 @@ def main() -> None:
     settings2 = ExperimentSettings(
         num_clusters=2, num_virtual_clusters=2, trace_length=trace_length, max_phases=max_phases
     )
-    runner2 = ExperimentRunner(settings2)
+    runner2 = ExperimentRunner(settings2, jobs=jobs, cache_dir=cache_dir)
     figure5 = run_figure5(settings2, runner=runner2)
     sections.append(format_table(figure5.benchmark_rows("int"), title="Figure 5(a) -- SPECint slowdown vs OP (%)"))
     sections.append(format_table(figure5.benchmark_rows("fp"), title="Figure 5(b) -- SPECfp slowdown vs OP (%)"))
@@ -54,7 +62,8 @@ def main() -> None:
     settings4 = ExperimentSettings(
         num_clusters=4, num_virtual_clusters=4, trace_length=trace_length, max_phases=max_phases
     )
-    figure7 = run_figure7(settings4)
+    runner4 = ExperimentRunner(settings4, jobs=jobs, cache_dir=cache_dir)
+    figure7 = run_figure7(settings4, runner=runner4)
     sections.append(format_table(figure7.averages_table(), title="Figure 7(c) -- 4-cluster average slowdown vs OP (%)"))
     sections.append(
         f"VC(4->4) copies relative to VC(2->4): {figure7.copy_overhead_4to4_vs_2to4():+.1f} % (paper: +28 %)\n"

@@ -45,7 +45,8 @@ from repro.experiments import (
     run_figure7,
     run_table1,
 )
-from repro.experiments.configs import TABLE3_CONFIGURATIONS, make_configuration
+from repro.engine import ParallelRunner, ResultCache, SimulationJob
+from repro.experiments.configs import TABLE3_CONFIGURATIONS, make_configuration, vc_variant
 from repro.partition import (
     OperationBasedPartitioner,
     RhopPartitioner,
@@ -99,11 +100,16 @@ __all__ = [
     "WorkloadGenerator",
     "all_trace_names",
     "profile_for",
+    # engine
+    "ParallelRunner",
+    "ResultCache",
+    "SimulationJob",
     # experiments
     "ExperimentRunner",
     "ExperimentSettings",
     "TABLE3_CONFIGURATIONS",
     "make_configuration",
+    "vc_variant",
     "run_figure5",
     "run_figure6",
     "run_figure7",
@@ -118,6 +124,8 @@ def quick_comparison(
     num_clusters: int = 2,
     num_virtual_clusters: int = 2,
     max_phases: int = 1,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> Dict[str, SimulationMetrics]:
     """Run every Table 3 configuration on one benchmark and return the metrics.
 
@@ -136,6 +144,11 @@ def quick_comparison(
         Machine geometry.
     max_phases:
         Simulation points to run per benchmark.
+    jobs:
+        Worker processes for the simulation job matrix (1 = serial;
+        bit-identical results for any value).
+    cache_dir:
+        Optional on-disk result cache directory (``None`` disables caching).
     """
     settings = ExperimentSettings(
         num_clusters=num_clusters,
@@ -143,11 +156,8 @@ def quick_comparison(
         trace_length=trace_length,
         max_phases=max_phases,
     )
-    runner = ExperimentRunner(settings)
-    out: Dict[str, SimulationMetrics] = {}
-    for name, configuration in TABLE3_CONFIGURATIONS.items():
-        result = runner.run_benchmark(benchmark, configuration)
-        # Surface the first phase's metrics object; weighted aggregates are in
-        # the BenchmarkResult itself.
-        out[name] = result.phase_results[0].metrics
-    return out
+    runner = ExperimentRunner(settings, jobs=jobs, cache_dir=cache_dir)
+    per_config = runner.run_suite([benchmark], list(TABLE3_CONFIGURATIONS.values()))[benchmark]
+    # Surface the first phase's metrics object; weighted aggregates are in
+    # the BenchmarkResult itself.
+    return {name: per_config[name].phase_results[0].metrics for name in TABLE3_CONFIGURATIONS}

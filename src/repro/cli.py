@@ -7,24 +7,74 @@ Exposes the experiment drivers without writing any Python::
     python -m repro.cli figure5 --benchmarks 164.gzip-1 181.mcf --trace-length 2500
     python -m repro.cli figure6 --benchmarks 164.gzip-1 178.galgel
     python -m repro.cli figure7 --trace-length 2000
+    python -m repro.cli ablations --sweep link-latency
     python -m repro.cli list-benchmarks --suite fp
 
 Every command prints the same plain-text tables the benchmark harness emits.
+
+Running experiments in parallel
+-------------------------------
+Every experiment command (``quickstart``, ``figure5``, ``figure6``,
+``figure7``, ``ablations``) routes its simulations through the experiment
+engine (:mod:`repro.engine`) and accepts three knobs:
+
+``--jobs N``
+    Simulate the ``benchmark x phase x configuration`` job matrix on ``N``
+    worker processes (default 1 = serial, in-process).  Results are
+    bit-identical for every ``N`` -- traces are regenerated from their seeds
+    inside each worker, the simulator is deterministic and the weighted
+    reassembly happens in a fixed order in the parent process -- so
+    ``figure5 --jobs 4`` prints exactly the same tables as ``--jobs 1``.
+
+``--cache-dir PATH``
+    On-disk result cache (default ``.repro_cache``, or ``$REPRO_CACHE_DIR``).
+    Repeated figure runs and overlapping sweeps skip already-simulated
+    points.  Entries are keyed by the full simulation *inputs* (profile,
+    phase, configuration, trace length, the resolved machine configuration
+    and the register space), so for unchanged code a hit is exactly the
+    metrics a fresh run would produce.  Keys cannot see edits to simulator
+    *logic*: after such a change, bump
+    :data:`repro.engine.job.CACHE_SCHEMA_VERSION` or pass ``--no-cache``.
+    Every cached report ends with an ``[engine] ... hits/misses`` footer so
+    replayed results are always visible.
+
+``--no-cache``
+    Disable the cache for this invocation (simulate everything afresh).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 from typing import List, Optional, Sequence
 
-from repro import quick_comparison
+from repro.engine import ParallelRunner, ResultCache
+from repro.experiments.ablations import (
+    DEFAULT_ABLATION_BENCHMARKS,
+    sweep_issue_queue_size,
+    sweep_link_latency,
+    sweep_region_size,
+    sweep_virtual_clusters,
+)
 from repro.experiments.figure5 import run_figure5
 from repro.experiments.figure6 import FIGURE6_COMPARISONS, run_figure6
 from repro.experiments.figure7 import run_figure7
 from repro.experiments.report import format_key_values, format_table
-from repro.experiments.runner import ExperimentSettings
+from repro.experiments.configs import TABLE3_CONFIGURATIONS
+from repro.experiments.runner import ExperimentRunner, ExperimentSettings
 from repro.experiments.table1 import run_table1
 from repro.workloads.spec2000 import all_trace_names
+
+#: Default on-disk result cache used by the experiment commands.
+DEFAULT_CACHE_DIR = os.environ.get("REPRO_CACHE_DIR", ".repro_cache")
+
+#: The ablation sweeps exposed by the ``ablations`` command.
+ABLATION_SWEEPS = {
+    "virtual-clusters": sweep_virtual_clusters,
+    "link-latency": sweep_link_latency,
+    "region-size": sweep_region_size,
+    "issue-queue-size": sweep_issue_queue_size,
+}
 
 
 def _settings(args: argparse.Namespace, num_clusters: int, num_virtual_clusters: int) -> ExperimentSettings:
@@ -33,6 +83,35 @@ def _settings(args: argparse.Namespace, num_clusters: int, num_virtual_clusters:
         num_virtual_clusters=num_virtual_clusters,
         trace_length=args.trace_length,
         max_phases=args.phases,
+    )
+
+
+def _cache_dir(args: argparse.Namespace) -> Optional[str]:
+    """The cache directory selected by ``--cache-dir`` / ``--no-cache``."""
+    return None if args.no_cache else args.cache_dir
+
+
+def _engine(args: argparse.Namespace) -> ParallelRunner:
+    """The engine configured by ``--jobs`` / ``--cache-dir`` / ``--no-cache``."""
+    cache_dir = _cache_dir(args)
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    return ParallelRunner(max_workers=args.jobs, cache=cache)
+
+
+def _engine_footer(engine: ParallelRunner) -> str:
+    """One-line cache/parallelism summary appended to every cached report.
+
+    Makes cache hits visible: a stale cache (e.g. after changing simulator
+    code without bumping the engine's ``CACHE_SCHEMA_VERSION``) would
+    otherwise silently reproduce old numbers.
+    """
+    if engine.cache is None:
+        return ""
+    stats = engine.cache.stats()
+    return (
+        f"[engine] jobs={engine.max_workers}  cache={engine.cache.root}  "
+        f"hits={stats['hits']} misses={stats['misses']} stored={stats['stores']}  "
+        "(cached results skip simulation; use --no-cache to force fresh runs)\n"
     )
 
 
@@ -45,6 +124,42 @@ def _benchmarks(args: argparse.Namespace) -> Optional[List[str]]:
     return None
 
 
+def _positive_int(text: str) -> int:
+    """argparse type for ``--jobs``: a clean error instead of a traceback."""
+    try:
+        value = int(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer") from exc
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be at least 1")
+    return value
+
+
+def _add_engine_options(parser: argparse.ArgumentParser) -> None:
+    """``--jobs`` / ``--cache-dir`` / ``--no-cache``, shared by every experiment command."""
+    parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="worker processes for the simulation job matrix "
+        "(default 1 = serial; results are bit-identical for any N)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        metavar="PATH",
+        help="on-disk result cache; repeated runs and overlapping sweeps "
+        f"skip already-simulated points (default {DEFAULT_CACHE_DIR!r}, "
+        "overridable via $REPRO_CACHE_DIR)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the result cache for this invocation",
+    )
+
+
 def _add_common_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--trace-length", type=int, default=2500, help="dynamic µops per simulation point"
@@ -55,6 +170,7 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--benchmarks", nargs="*", default=None, help="trace names (default: the full suite)"
     )
+    _add_engine_options(parser)
 
 
 def cmd_list_benchmarks(args: argparse.Namespace) -> str:
@@ -71,7 +187,17 @@ def cmd_table1(args: argparse.Namespace) -> str:
 
 def cmd_quickstart(args: argparse.Namespace) -> str:
     """``quickstart``: all five configurations on one benchmark."""
-    results = quick_comparison(args.benchmark, trace_length=args.trace_length)
+    settings = ExperimentSettings(
+        num_clusters=2, num_virtual_clusters=2, trace_length=args.trace_length, max_phases=1
+    )
+    engine = _engine(args)
+    runner = ExperimentRunner(settings, engine=engine)
+    per_config = runner.run_suite([args.benchmark], list(TABLE3_CONFIGURATIONS.values()))[
+        args.benchmark
+    ]
+    results = {
+        name: per_config[name].phase_results[0].metrics for name in TABLE3_CONFIGURATIONS
+    }
     baseline = results["OP"].cycles
     rows = []
     for name in ("OP", "one-cluster", "OB", "RHOP", "VC"):
@@ -86,39 +212,88 @@ def cmd_quickstart(args: argparse.Namespace) -> str:
                 "balance stalls": metrics.balance_stalls,
             }
         )
-    return format_table(rows, title=f"{args.benchmark}: Table 3 configurations")
+    return (
+        format_table(rows, title=f"{args.benchmark}: Table 3 configurations")
+        + _engine_footer(engine)
+    )
 
 
 def cmd_figure5(args: argparse.Namespace) -> str:
     """``figure5``: 2-cluster slowdown versus OP."""
-    result = run_figure5(_settings(args, 2, 2), benchmarks=_benchmarks(args))
+    settings = _settings(args, 2, 2)
+    engine = _engine(args)
+    result = run_figure5(
+        settings, benchmarks=_benchmarks(args), runner=ExperimentRunner(settings, engine=engine)
+    )
     out = [
         format_table(result.benchmark_rows("int"), title="Figure 5(a) -- SPECint slowdown vs OP (%)"),
         format_table(result.benchmark_rows("fp"), title="Figure 5(b) -- SPECfp slowdown vs OP (%)"),
         format_table(result.averages_table(), title="Figure 5(c) -- average slowdown vs OP (%)"),
+        _engine_footer(engine),
     ]
     return "\n".join(out)
 
 
 def cmd_figure6(args: argparse.Namespace) -> str:
     """``figure6``: copy / balance trade-off summaries."""
-    result = run_figure6(_settings(args, 2, 2), benchmarks=_benchmarks(args))
+    settings = _settings(args, 2, 2)
+    engine = _engine(args)
+    result = run_figure6(
+        settings, benchmarks=_benchmarks(args), runner=ExperimentRunner(settings, engine=engine)
+    )
     out = []
     for comparison in FIGURE6_COMPARISONS:
         out.append(
             format_key_values(result.summary(comparison), title=f"Figure 6 -- VC vs {comparison}")
         )
+    out.append(_engine_footer(engine))
     return "\n".join(out)
 
 
 def cmd_figure7(args: argparse.Namespace) -> str:
     """``figure7``: 4-cluster scalability study."""
-    result = run_figure7(_settings(args, 4, 4), benchmarks=_benchmarks(args))
+    settings = _settings(args, 4, 4)
+    engine = _engine(args)
+    result = run_figure7(
+        settings, benchmarks=_benchmarks(args), runner=ExperimentRunner(settings, engine=engine)
+    )
     out = [
         format_table(result.averages_table(), title="Figure 7(c) -- 4-cluster average slowdown vs OP (%)"),
         f"VC(4->4) copies relative to VC(2->4): {result.copy_overhead_4to4_vs_2to4():+.1f} % (paper: +28 %)\n",
+        _engine_footer(engine),
     ]
     return "\n".join(out)
+
+
+def cmd_ablations(args: argparse.Namespace) -> str:
+    """``ablations``: sensitivity sweeps beyond the paper's figures."""
+    sweep = ABLATION_SWEEPS[args.sweep]
+    base = ExperimentSettings(
+        num_clusters=2,
+        num_virtual_clusters=2,
+        trace_length=args.trace_length,
+        max_phases=args.phases,
+    )
+    benchmarks = _benchmarks(args) or list(DEFAULT_ABLATION_BENCHMARKS)
+    engine = _engine(args)
+    result = sweep(benchmarks=benchmarks, base_settings=base, engine=engine)
+    rows = []
+    for point in result.points:
+        rows.append(
+            {
+                result.parameter: point.value,
+                "configuration": point.configuration,
+                "cycles": point.cycles,
+                "copies": point.copies,
+                "allocation stalls": point.allocation_stalls,
+                "slowdown vs OP (%)": (
+                    "-" if point.slowdown_vs_op is None else round(point.slowdown_vs_op, 2)
+                ),
+            }
+        )
+    return format_table(rows, title=f"Ablation sweep -- {result.parameter}") + _engine_footer(
+        engine
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -140,6 +315,7 @@ def build_parser() -> argparse.ArgumentParser:
     quick_parser = subparsers.add_parser("quickstart", help="five configurations on one benchmark")
     quick_parser.add_argument("--benchmark", default="164.gzip-1")
     quick_parser.add_argument("--trace-length", type=int, default=3000)
+    _add_engine_options(quick_parser)
     quick_parser.set_defaults(handler=cmd_quickstart)
 
     for name, handler, help_text in (
@@ -150,6 +326,18 @@ def build_parser() -> argparse.ArgumentParser:
         sub = subparsers.add_parser(name, help=help_text)
         _add_common_options(sub)
         sub.set_defaults(handler=handler)
+
+    ablations_parser = subparsers.add_parser(
+        "ablations", help="sensitivity sweeps (virtual clusters, link latency, ...)"
+    )
+    ablations_parser.add_argument(
+        "--sweep",
+        choices=sorted(ABLATION_SWEEPS),
+        default="virtual-clusters",
+        help="which parameter to sweep",
+    )
+    _add_common_options(ablations_parser)
+    ablations_parser.set_defaults(handler=cmd_ablations)
     return parser
 
 

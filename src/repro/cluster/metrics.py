@@ -13,7 +13,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 from typing import Dict, List
 
 
@@ -92,6 +92,44 @@ class SimulationMetrics:
     def misprediction_rate(self) -> float:
         """Fraction of branches flagged as mispredicted."""
         return self.mispredictions / self.branches if self.branches else 0.0
+
+    # -- serialisation -------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """Lossless, JSON-compatible dump of every counter.
+
+        Unlike :meth:`as_dict` (a flattened, report-friendly view with derived
+        quantities) this preserves the exact field values -- integer counters
+        stay integers -- so ``from_dict(to_dict(m)) == m`` holds bit-for-bit
+        even after a JSON round trip.  The experiment engine relies on this
+        for cross-process result transport and on-disk caching.
+        """
+        # asdict() covers every dataclass field (deep-copying the lists and
+        # the cache dict), so new counters can never be forgotten here.
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SimulationMetrics":
+        """Rebuild a :class:`SimulationMetrics` from a :meth:`to_dict` dump.
+
+        Unknown *and* missing keys are rejected so that stale cache entries
+        written by an incompatible schema fail loudly instead of
+        deserialising garbage (missing counters would otherwise silently
+        become zeros).
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown SimulationMetrics fields: {sorted(unknown)}")
+        missing = known - set(data)
+        if missing:
+            raise ValueError(f"missing SimulationMetrics fields: {sorted(missing)}")
+        kwargs = dict(data)
+        for list_field in ("cluster_dispatch", "allocation_stalls", "cluster_copies"):
+            if list_field in kwargs:
+                kwargs[list_field] = list(kwargs[list_field])
+        if "cache" in kwargs:
+            kwargs["cache"] = dict(kwargs["cache"])
+        return cls(**kwargs)
 
     def as_dict(self) -> Dict[str, float]:
         """Flatten the metrics into a report-friendly dictionary."""

@@ -1,0 +1,62 @@
+"""Parallel experiment engine with deterministic result caching.
+
+The paper's methodology is an embarrassingly parallel job matrix: every
+benchmark contributes up to ten PinPoints phases, every phase is simulated
+under every steering configuration on the *same* dynamic trace, and
+benchmark-level numbers are PinPoints-weighted averages of the per-phase
+numbers.  This package turns that matrix into independent, picklable
+:class:`~repro.engine.job.SimulationJob` units and executes them through a
+single code path that is shared by the serial fallback, the process pool and
+the cache-replay path:
+
+``SimulationJob`` (:mod:`repro.engine.job`)
+    One ``benchmark x phase x configuration`` cell, plus every knob that
+    influences the result.  Exposes a stable content hash used as the cache
+    key (PinPoints weights and display names are excluded -- they do not
+    change the simulation).
+
+``ResultCache`` (:mod:`repro.engine.cache`)
+    Content-addressed on-disk store of lossless
+    :meth:`~repro.cluster.metrics.SimulationMetrics.to_dict` dumps.  Repeated
+    figure runs and overlapping ablation sweeps skip already-simulated
+    points; integer counters survive the JSON round trip bit-for-bit.
+
+``ParallelRunner`` (:mod:`repro.engine.parallel`)
+    Expands nothing and decides nothing about results -- it only chooses
+    where jobs run (inline for ``max_workers=1``, else a
+    ``ProcessPoolExecutor``) and consults the cache first.
+
+Determinism contract
+--------------------
+Serial, parallel and cache-replay runs of the same experiment are
+**bit-identical**, enforced by ``tests/test_engine_determinism.py``:
+
+* trace generation is fully seeded by ``(profile, phase)``; worker processes
+  regenerate the identical trace from the job description rather than
+  receiving pickled µops,
+* the cycle-level simulator contains no randomness of its own,
+* per-phase metrics are integers (plus deterministic floats) that round-trip
+  losslessly through the cache, and
+* weighted reassembly happens in the parent process in a fixed order, using
+  the same :func:`~repro.workloads.pinpoints.weighted_average` arithmetic as
+  the original serial runner.
+
+The experiment harness (:class:`~repro.experiments.runner.ExperimentRunner`,
+the figure drivers and the ablation sweeps) routes all simulation through
+this engine; ``repro.cli`` exposes it as ``--jobs N``, ``--cache-dir PATH``
+and ``--no-cache`` on every experiment command.
+"""
+
+from __future__ import annotations
+
+from repro.engine.cache import ResultCache
+from repro.engine.job import CACHE_SCHEMA_VERSION, SimulationJob
+from repro.engine.parallel import ParallelRunner, execute_job
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "ParallelRunner",
+    "ResultCache",
+    "SimulationJob",
+    "execute_job",
+]

@@ -1,0 +1,175 @@
+"""Job descriptions for the parallel experiment engine.
+
+A :class:`SimulationJob` is the unit of work of the engine: one
+``(benchmark profile, PinPoints phase, steering configuration)`` triple plus
+every knob that influences the simulation result (trace length, region size,
+machine geometry, configuration overrides, register space).  Jobs are plain
+frozen dataclasses built only from picklable values, so they can be shipped
+to ``ProcessPoolExecutor`` workers, and they expose a stable content hash
+(:meth:`SimulationJob.cache_key`) used by the on-disk result cache.
+
+Two invariants matter here:
+
+* **Everything that changes the metrics is part of the key.**  The key covers
+  the full benchmark profile (including its ``base_seed``), the phase, the
+  trace length, the machine geometry and overrides, the region size, the
+  register space and the configuration's :class:`ConfigurationSpec` identity.
+* **Nothing presentation-only is part of the key.**  PinPoints weights only
+  affect the *aggregation* of per-phase metrics, and a configuration's
+  display name only affects table headings; both are excluded so overlapping
+  sweeps share cache entries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+from typing import TYPE_CHECKING, Dict, Tuple
+
+from repro.cluster.config import ClusterConfig
+from repro.uops.registers import DEFAULT_REGISTER_SPACE, RegisterSpace
+from repro.workloads.generator import BenchmarkProfile
+
+if TYPE_CHECKING:  # import at type-check time only: repro.experiments imports
+    # the engine back, and jobs only *hold* specs (the instances carry their
+    # own resolve()/cache_identity() methods), so no runtime import is needed.
+    from repro.experiments.configs import ConfigurationSpec
+
+#: Bump when the simulator or workload substrate changes in a way that makes
+#: previously cached metrics stale.
+CACHE_SCHEMA_VERSION = 1
+
+
+def _canonical_json(payload: object) -> str:
+    """Deterministic JSON encoding (sorted keys, no whitespace drift)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _profile_identity(profile: BenchmarkProfile) -> Dict[str, object]:
+    """JSON-compatible dump of every profile field (enum keys by name)."""
+    data = asdict(profile)
+    data["kernel_mix"] = {kind.name: weight for kind, weight in profile.kernel_mix.items()}
+    return data
+
+
+@dataclass(frozen=True)
+class SimulationJob:
+    """One independent simulation: a benchmark phase under one configuration.
+
+    Parameters
+    ----------
+    profile:
+        The benchmark profile; carried whole (not by name) so custom profiles
+        work and so renamed-but-identical profiles never collide in the cache.
+    phase:
+        PinPoints phase index (selects the per-phase seed and working set).
+        The phase *weight* is deliberately not part of the job: it only
+        affects the benchmark-level reassembly, which the runner performs
+        from its simulation-point plan.
+    config_spec:
+        Transportable identity of the steering configuration.
+    trace_length:
+        Dynamic µops to simulate.
+    region_size:
+        Compiler window of the software passes.
+    num_clusters / num_virtual_clusters:
+        Machine geometry.
+    config_overrides:
+        Sorted ``(field, value)`` pairs applied on top of the Table 2
+        :class:`~repro.cluster.config.ClusterConfig`.
+    register_space:
+        Architectural register namespace of the generated trace.
+    """
+
+    profile: BenchmarkProfile
+    phase: int
+    config_spec: "ConfigurationSpec"
+    trace_length: int
+    region_size: int
+    num_clusters: int
+    num_virtual_clusters: int
+    config_overrides: Tuple[Tuple[str, object], ...] = ()
+    register_space: RegisterSpace = DEFAULT_REGISTER_SPACE
+
+    @property
+    def label(self) -> str:
+        """Human-readable job label, e.g. ``"164.gzip-1/p0/VC"``."""
+        return f"{self.profile.name}/p{self.phase}/{self.config_spec.display_name}"
+
+    @property
+    def transportable(self) -> bool:
+        """Whether this job may be shipped to worker processes and cached.
+
+        ``False`` for hand-built configurations wrapped in an
+        ``InlineConfigurationSpec``: their factory callables cannot be
+        pickled or stably hashed, so the engine runs them inline in the
+        calling process with caching disabled.
+        """
+        return getattr(self.config_spec, "transportable", True)
+
+    def trace_key(self) -> str:
+        """Stable hash of everything that determines the generated trace.
+
+        Jobs running different configurations on the same phase share this
+        key, which lets workers memoise the (expensive) trace generation: the
+        dynamic µop stream is identical across configurations by design, as
+        in the paper's methodology.
+        """
+        payload = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "profile": _profile_identity(self.profile),
+            "phase": self.phase,
+            "trace_length": self.trace_length,
+            "register_space": {
+                "num_int": self.register_space.num_int,
+                "num_fp": self.register_space.num_fp,
+            },
+        }
+        return hashlib.sha256(_canonical_json(payload).encode("utf-8")).hexdigest()
+
+    def machine_config(self) -> ClusterConfig:
+        """The resolved :class:`ClusterConfig` this job simulates on."""
+        config = ClusterConfig(num_clusters=self.num_clusters)
+        if self.config_overrides:
+            config = config.with_overrides(**dict(self.config_overrides))
+        return config
+
+    def cache_key(self) -> str:
+        """Stable content hash identifying this job's simulation result.
+
+        The machine is keyed by the *resolved* :class:`ClusterConfig` --
+        every field, not just the overrides -- so editing a default in
+        ``cluster/config.py`` invalidates old cache entries automatically.
+        Conversely, only the knobs the configuration actually *consumes* are
+        keyed: the virtual-cluster count enters as its effective value (spec
+        override folded over the settings value) and only for configurations
+        that use it, and the compiler region size only for configurations
+        with a compile-time pass.  Hence ``VC(2->4)`` shares entries with an
+        equivalently configured plain VC run, and the OP baseline of a
+        virtual-cluster or region-size sweep is simulated once, not once per
+        swept value.  Changes to simulator *logic* are invisible to hashing;
+        bump :data:`CACHE_SCHEMA_VERSION` for those.
+        """
+        identity = dict(self.config_spec.cache_identity())
+        override = identity.pop("num_virtual_clusters", None)
+        configuration = self.config_spec.resolve()
+        if configuration.uses_virtual_clusters:
+            effective_vcs = override if override is not None else self.num_virtual_clusters
+        else:
+            effective_vcs = None
+        payload = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "profile": _profile_identity(self.profile),
+            "phase": self.phase,
+            "configuration": identity,
+            "trace_length": self.trace_length,
+            "region_size": self.region_size if configuration.uses_compiler else None,
+            "num_virtual_clusters": effective_vcs,
+            "machine_config": asdict(self.machine_config()),
+            "register_space": {
+                "num_int": self.register_space.num_int,
+                "num_fp": self.register_space.num_fp,
+            },
+        }
+        return hashlib.sha256(_canonical_json(payload).encode("utf-8")).hexdigest()

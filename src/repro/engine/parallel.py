@@ -1,0 +1,166 @@
+"""Job execution: inline serial runs and process-pool fan-out.
+
+:func:`execute_job` is the single code path that turns a
+:class:`~repro.engine.job.SimulationJob` into metrics -- the serial executor
+calls it inline, worker processes call it via ``ProcessPoolExecutor``.
+Because trace generation is fully seeded (profile + phase) and the simulator
+is deterministic, the same job produces bit-identical metrics in either mode;
+:class:`ParallelRunner` only decides *where* jobs run and consults the
+optional result cache, never *what* they compute.
+
+Each process keeps a small memo of generated ``(program, trace)`` pairs keyed
+by :meth:`SimulationJob.trace_key`, mirroring the trace sharing of the old
+serial runner: all configurations of one phase see the exact same dynamic µop
+stream without regenerating it per job.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.metrics import SimulationMetrics
+from repro.cluster.processor import ClusteredProcessor
+from repro.engine.cache import ResultCache
+from repro.engine.job import SimulationJob
+from repro.workloads.generator import WorkloadGenerator
+
+#: Per-process ``trace_key -> (program, trace)`` memo.  Bounded so a full
+#: 40-trace suite cannot hold every generated trace alive at once.
+_TRACE_MEMO: "OrderedDict[str, Tuple[object, list]]" = OrderedDict()
+_TRACE_MEMO_CAP = 16
+
+
+def _trace_for(job: SimulationJob):
+    """Generate (or reuse) the program and dynamic trace of ``job``'s phase."""
+    key = job.trace_key()
+    cached = _TRACE_MEMO.get(key)
+    if cached is not None:
+        _TRACE_MEMO.move_to_end(key)
+        return cached
+    generator = WorkloadGenerator(job.profile, register_space=job.register_space)
+    program, trace = generator.generate_trace(job.trace_length, phase=job.phase)
+    _TRACE_MEMO[key] = (program, trace)
+    while len(_TRACE_MEMO) > _TRACE_MEMO_CAP:
+        _TRACE_MEMO.popitem(last=False)
+    return program, trace
+
+
+def execute_job(job: SimulationJob) -> Dict[str, object]:
+    """Run one simulation job and return the lossless metrics dump.
+
+    This is the engine's only execution path; it reproduces the serial
+    runner's per-phase sequence exactly: build/reuse the phase trace,
+    annotate the program with the configuration's compile-time pass (or clear
+    stale annotations for hardware-only schemes), instantiate the run-time
+    policy and the machine, simulate.  The dict return type keeps the
+    cross-process payload plain (cheap to pickle, schema-checked on rebuild).
+    """
+    program, trace = _trace_for(job)
+    configuration = job.config_spec.resolve()
+    partitioner = configuration.make_partitioner(
+        job.num_clusters, job.num_virtual_clusters, job.region_size
+    )
+    if partitioner is not None:
+        partitioner.annotate_program(program)
+    else:
+        program.clear_annotations()
+    policy = configuration.make_policy(job.num_clusters, job.num_virtual_clusters)
+    processor = ClusteredProcessor(job.machine_config(), policy, job.register_space)
+    return processor.run(trace).to_dict()
+
+
+class ParallelRunner:
+    """Fan simulation jobs out over processes, with optional result caching.
+
+    Parameters
+    ----------
+    max_workers:
+        Worker processes.  ``1`` (the default) executes jobs inline in the
+        calling process -- the serial fallback -- and is bit-identical to any
+        parallel run of the same jobs.
+    cache:
+        Optional :class:`~repro.engine.cache.ResultCache`; hits skip
+        simulation entirely, results of fresh runs are stored back.
+    """
+
+    def __init__(self, max_workers: int = 1, cache: Optional[ResultCache] = None) -> None:
+        if max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+        self.max_workers = max_workers
+        self.cache = cache
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    def _get_pool(self) -> ProcessPoolExecutor:
+        """The worker pool, created lazily and reused across :meth:`run` calls.
+
+        Reuse matters for batched callers like the ablation sweeps: one
+        shared engine then pays pool start-up (and, under the ``spawn`` start
+        method, worker-side trace regeneration) once instead of per sweep
+        point.  Idle workers are reclaimed by the interpreter's exit handler;
+        call :meth:`shutdown` to release them earlier.
+        """
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
+        return self._pool
+
+    def shutdown(self) -> None:
+        """Release the worker pool (a later :meth:`run` recreates it)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def run(self, jobs: Sequence[SimulationJob]) -> List[SimulationMetrics]:
+        """Execute ``jobs`` and return their metrics in the same order.
+
+        Non-transportable jobs (hand-built configurations without a
+        :class:`~repro.experiments.configs.ConfigurationSpec`) always run
+        inline in this process and bypass the cache; everything else may be
+        served from the cache or fanned out to worker processes.
+        """
+        results: List[Optional[SimulationMetrics]] = [None] * len(jobs)
+        pending: List[int] = []
+        inline_only: List[int] = []
+        keys: List[Optional[str]] = [None] * len(jobs)
+        for index, job in enumerate(jobs):
+            if not job.transportable:
+                inline_only.append(index)
+                continue
+            if self.cache is not None:
+                keys[index] = job.cache_key()
+                cached = self.cache.get(keys[index])
+                if cached is not None:
+                    results[index] = cached
+                    continue
+            pending.append(index)
+
+        for index in inline_only:
+            results[index] = SimulationMetrics.from_dict(execute_job(jobs[index]))
+
+        if pending:
+            if self.max_workers == 1 or len(pending) == 1:
+                dumps = [execute_job(jobs[index]) for index in pending]
+            else:
+                # Sort so jobs sharing a trace are adjacent and chunk the map
+                # accordingly: a worker then receives a phase's configurations
+                # together and generates the trace once (the per-process memo
+                # does the rest).  Results stay index-aligned via `pending`.
+                pending.sort(key=lambda index: (jobs[index].trace_key(), index))
+                chunksize = max(1, len(pending) // (self.max_workers * 4))
+                pool = self._get_pool()
+                dumps = list(
+                    pool.map(
+                        execute_job,
+                        [jobs[index] for index in pending],
+                        chunksize=chunksize,
+                    )
+                )
+            for index, dump in zip(pending, dumps):
+                metrics = SimulationMetrics.from_dict(dump)
+                results[index] = metrics
+                if self.cache is not None:
+                    self.cache.put(keys[index], metrics)
+
+        assert all(metrics is not None for metrics in results)
+        return results  # every slot is filled: cached, inline, or executed above

@@ -15,6 +15,11 @@ DESIGN.md calls out four design choices whose impact is worth quantifying:
 Each sweep runs a subset of benchmarks under the VC configuration (and the
 OP baseline where a relative number is needed) and reports weighted cycles,
 copies and allocation stalls per sweep point.
+
+All sweep points route through the experiment engine: pass ``jobs`` to
+simulate each point's job matrix in parallel, and ``cache_dir`` to share the
+on-disk result cache across sweeps (overlapping points -- e.g. the common
+baseline settings -- are then simulated once).
 """
 
 from __future__ import annotations
@@ -22,9 +27,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.experiments.configs import TABLE3_CONFIGURATIONS, SteeringConfiguration
-from repro.experiments.figure7 import _vc_variant
-from repro.experiments.runner import ExperimentRunner, ExperimentSettings, slowdown_percent
+from repro.engine.cache import ResultCache
+from repro.engine.parallel import ParallelRunner
+from repro.experiments.configs import TABLE3_CONFIGURATIONS, SteeringConfiguration, vc_variant
+from repro.experiments.runner import (
+    BenchmarkResult,
+    ExperimentRunner,
+    ExperimentSettings,
+    slowdown_percent,
+)
 
 #: Default benchmark subset for the sweeps: a mix of regular FP, irregular
 #: INT and memory-bound traces.
@@ -71,17 +82,28 @@ class AblationResult:
 
 
 def _aggregate(
-    runner: ExperimentRunner,
+    suite: Dict[str, Dict[str, BenchmarkResult]],
     benchmarks: Sequence[str],
-    configuration: SteeringConfiguration,
+    configuration_name: str,
 ) -> Dict[str, float]:
     cycles = copies = stalls = 0.0
     for name in benchmarks:
-        result = runner.run_benchmark(name, configuration)
+        result = suite[name][configuration_name]
         cycles += result.cycles
         copies += result.copies
         stalls += result.allocation_stalls
     return {"cycles": cycles, "copies": copies, "allocation_stalls": stalls}
+
+
+def _shared_engine(
+    jobs: int, cache_dir: Optional[str], engine: Optional[ParallelRunner]
+) -> ParallelRunner:
+    """One engine per sweep, so every sweep point reuses the same worker pool
+    (and cache counters) instead of spawning a fresh pool per point."""
+    if engine is not None:
+        return engine
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    return ParallelRunner(max_workers=jobs, cache=cache)
 
 
 def _run_point(
@@ -91,12 +113,14 @@ def _run_point(
     benchmarks: Sequence[str],
     configurations: Sequence[SteeringConfiguration],
     result: AblationResult,
+    engine: ParallelRunner,
 ) -> None:
-    runner = ExperimentRunner(settings)
+    runner = ExperimentRunner(settings, engine=engine)
+    suite = runner.run_suite(benchmarks, configurations)
     baseline_cycles: Optional[float] = None
     aggregates = {}
     for configuration in configurations:
-        aggregates[configuration.name] = _aggregate(runner, benchmarks, configuration)
+        aggregates[configuration.name] = _aggregate(suite, benchmarks, configuration.name)
         if configuration.name == "OP":
             baseline_cycles = aggregates[configuration.name]["cycles"]
     for configuration in configurations:
@@ -123,10 +147,14 @@ def sweep_virtual_clusters(
     counts: Sequence[int] = (1, 2, 4, 8),
     benchmarks: Sequence[str] = DEFAULT_ABLATION_BENCHMARKS,
     base_settings: Optional[ExperimentSettings] = None,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    engine: Optional[ParallelRunner] = None,
 ) -> AblationResult:
     """Sweep the number of virtual clusters on the 2-cluster machine."""
     base = base_settings or ExperimentSettings(num_clusters=2)
     result = AblationResult(parameter="num_virtual_clusters")
+    engine = _shared_engine(jobs, cache_dir, engine)
     for count in counts:
         settings = ExperimentSettings(
             num_clusters=base.num_clusters,
@@ -136,8 +164,11 @@ def sweep_virtual_clusters(
             region_size=base.region_size,
             config_overrides=dict(base.config_overrides),
         )
-        configurations = [TABLE3_CONFIGURATIONS["OP"], _vc_variant(f"VC({count})", count)]
-        _run_point("num_virtual_clusters", count, settings, benchmarks, configurations, result)
+        configurations = [TABLE3_CONFIGURATIONS["OP"], vc_variant(f"VC({count})", count)]
+        _run_point(
+            "num_virtual_clusters", count, settings, benchmarks, configurations, result,
+            engine=engine,
+        )
     return result
 
 
@@ -145,10 +176,14 @@ def sweep_link_latency(
     latencies: Sequence[int] = (1, 2, 4, 8),
     benchmarks: Sequence[str] = DEFAULT_ABLATION_BENCHMARKS,
     base_settings: Optional[ExperimentSettings] = None,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    engine: Optional[ParallelRunner] = None,
 ) -> AblationResult:
     """Sweep the inter-cluster link latency (VC and RHOP versus OP)."""
     base = base_settings or ExperimentSettings(num_clusters=2)
     result = AblationResult(parameter="link_latency")
+    engine = _shared_engine(jobs, cache_dir, engine)
     for latency in latencies:
         overrides = dict(base.config_overrides)
         overrides["link_latency"] = latency
@@ -165,7 +200,10 @@ def sweep_link_latency(
             TABLE3_CONFIGURATIONS["RHOP"],
             TABLE3_CONFIGURATIONS["VC"],
         ]
-        _run_point("link_latency", latency, settings, benchmarks, configurations, result)
+        _run_point(
+            "link_latency", latency, settings, benchmarks, configurations, result,
+            engine=engine,
+        )
     return result
 
 
@@ -173,10 +211,14 @@ def sweep_region_size(
     sizes: Sequence[int] = (16, 32, 64, 128, 256),
     benchmarks: Sequence[str] = DEFAULT_ABLATION_BENCHMARKS,
     base_settings: Optional[ExperimentSettings] = None,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    engine: Optional[ParallelRunner] = None,
 ) -> AblationResult:
     """Sweep the compiler window (region size) used by the software passes."""
     base = base_settings or ExperimentSettings(num_clusters=2)
     result = AblationResult(parameter="region_size")
+    engine = _shared_engine(jobs, cache_dir, engine)
     for size in sizes:
         settings = ExperimentSettings(
             num_clusters=base.num_clusters,
@@ -191,7 +233,10 @@ def sweep_region_size(
             TABLE3_CONFIGURATIONS["RHOP"],
             TABLE3_CONFIGURATIONS["VC"],
         ]
-        _run_point("region_size", size, settings, benchmarks, configurations, result)
+        _run_point(
+            "region_size", size, settings, benchmarks, configurations, result,
+            engine=engine,
+        )
     return result
 
 
@@ -199,10 +244,14 @@ def sweep_issue_queue_size(
     sizes: Sequence[int] = (16, 32, 48, 96),
     benchmarks: Sequence[str] = DEFAULT_ABLATION_BENCHMARKS,
     base_settings: Optional[ExperimentSettings] = None,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    engine: Optional[ParallelRunner] = None,
 ) -> AblationResult:
     """Sweep the per-cluster integer/FP issue queue sizes."""
     base = base_settings or ExperimentSettings(num_clusters=2)
     result = AblationResult(parameter="issue_queue_size")
+    engine = _shared_engine(jobs, cache_dir, engine)
     for size in sizes:
         overrides = dict(base.config_overrides)
         overrides["iq_int_size"] = size
@@ -216,5 +265,8 @@ def sweep_issue_queue_size(
             config_overrides=overrides,
         )
         configurations = [TABLE3_CONFIGURATIONS["OP"], TABLE3_CONFIGURATIONS["VC"]]
-        _run_point("issue_queue_size", size, settings, benchmarks, configurations, result)
+        _run_point(
+            "issue_queue_size", size, settings, benchmarks, configurations, result,
+            engine=engine,
+        )
     return result

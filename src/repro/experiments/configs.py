@@ -34,6 +34,53 @@ from repro.steering.virtual_cluster import VirtualClusterSteering
 
 
 @dataclass(frozen=True)
+class ConfigurationSpec:
+    """Picklable identity of a :class:`SteeringConfiguration`.
+
+    The parallel experiment engine ships jobs to worker processes and keys
+    its on-disk result cache by the *content* of a configuration, but a
+    :class:`SteeringConfiguration` holds factory callables (lambdas) that can
+    be neither pickled nor hashed stably.  A spec captures the information
+    needed to rebuild the configuration from the Table 3 registry instead:
+
+    Parameters
+    ----------
+    base:
+        Name of the Table 3 configuration this one is derived from.
+    display_name:
+        Name used in result tables (``"VC(2->4)"`` for the Figure 7
+        variants); equals ``base`` for the stock configurations.
+    num_virtual_clusters:
+        Virtual-cluster override of the VC variants, or ``None`` to use the
+        experiment settings' value.
+    """
+
+    base: str
+    display_name: str
+    num_virtual_clusters: Optional[int] = None
+
+    #: Engine hint: specs built from the registry may be pickled to worker
+    #: processes and hashed into cache keys.
+    transportable = True
+
+    def resolve(self) -> "SteeringConfiguration":
+        """Rebuild the :class:`SteeringConfiguration` this spec describes."""
+        base = make_configuration(self.base)
+        if self.num_virtual_clusters is None and self.display_name == base.name:
+            return base
+        return _derive_variant(base, self.display_name, self.num_virtual_clusters)
+
+    def cache_identity(self) -> Dict[str, object]:
+        """The part of the spec that affects simulation results.
+
+        ``display_name`` is presentation only: ``VC(2->4)`` and a plain VC
+        run with the same virtual-cluster count simulate identically, so the
+        cache must not distinguish them.
+        """
+        return {"base": self.base, "num_virtual_clusters": self.num_virtual_clusters}
+
+
+@dataclass(frozen=True)
 class SteeringConfiguration:
     """One evaluated configuration: a compile-time pass plus a run-time policy.
 
@@ -48,12 +95,22 @@ class SteeringConfiguration:
         compile-time pass, or ``None`` for hardware-only configurations.
     policy_factory:
         Callable ``(num_clusters, num_virtual_clusters) ->`` run-time policy.
+    spec:
+        Transportable identity used by the parallel engine; filled in for the
+        Table 3 registry and the :func:`vc_variant` derivatives.
+    uses_virtual_clusters:
+        Whether the configuration's behaviour depends on the virtual-cluster
+        count (only VC and its variants).  The engine keys cached results by
+        the knobs a configuration actually consumes, so e.g. the OP baseline
+        of a virtual-cluster sweep is simulated once, not once per count.
     """
 
     name: str
     description: str
     partitioner_factory: Optional[Callable[[int, int, int], RegionPartitioner]]
     policy_factory: Callable[[int, int], SteeringPolicy]
+    spec: Optional[ConfigurationSpec] = None
+    uses_virtual_clusters: bool = False
 
     @property
     def uses_compiler(self) -> bool:
@@ -79,6 +136,7 @@ def _op_config() -> SteeringConfiguration:
         description="Occupancy-aware steering [15]",
         partitioner_factory=None,
         policy_factory=lambda clusters, vcs: OccupancyAwareSteering(),
+        spec=ConfigurationSpec(base="OP", display_name="OP"),
     )
 
 
@@ -88,6 +146,7 @@ def _one_cluster_config() -> SteeringConfiguration:
         description="Every instruction goes to one cluster",
         partitioner_factory=None,
         policy_factory=lambda clusters, vcs: OneClusterSteering(),
+        spec=ConfigurationSpec(base="one-cluster", display_name="one-cluster"),
     )
 
 
@@ -99,6 +158,7 @@ def _ob_config() -> SteeringConfiguration:
             num_clusters=clusters, region_size=region
         ),
         policy_factory=lambda clusters, vcs: StaticAssignmentSteering(name="OB"),
+        spec=ConfigurationSpec(base="OB", display_name="OB"),
     )
 
 
@@ -110,6 +170,7 @@ def _rhop_config() -> SteeringConfiguration:
             num_clusters=clusters, region_size=region
         ),
         policy_factory=lambda clusters, vcs: StaticAssignmentSteering(name="RHOP"),
+        spec=ConfigurationSpec(base="RHOP", display_name="RHOP"),
     )
 
 
@@ -121,6 +182,8 @@ def _vc_config() -> SteeringConfiguration:
             num_virtual_clusters=vcs, region_size=region
         ),
         policy_factory=lambda clusters, vcs: VirtualClusterSteering(num_virtual_clusters=vcs),
+        spec=ConfigurationSpec(base="VC", display_name="VC"),
+        uses_virtual_clusters=True,
     )
 
 
@@ -145,6 +208,93 @@ def make_configuration(name: str) -> SteeringConfiguration:
         raise KeyError(
             f"unknown configuration {name!r}; expected one of {sorted(TABLE3_CONFIGURATIONS)}"
         ) from exc
+
+
+def _derive_variant(
+    base: SteeringConfiguration, display_name: str, num_virtual_clusters: Optional[int]
+) -> SteeringConfiguration:
+    """Derive a configuration from ``base`` with a pinned virtual-cluster count."""
+    vcs_override = num_virtual_clusters
+    partitioner_factory = None
+    if base.partitioner_factory is not None:
+        partitioner_factory = lambda clusters, vcs, region: base.partitioner_factory(  # noqa: E731
+            clusters, vcs_override if vcs_override is not None else vcs, region
+        )
+    return SteeringConfiguration(
+        name=display_name,
+        description=(
+            f"{base.description} ({vcs_override} virtual clusters)"
+            if vcs_override is not None
+            else base.description
+        ),
+        partitioner_factory=partitioner_factory,
+        policy_factory=lambda clusters, vcs: base.policy_factory(
+            clusters, vcs_override if vcs_override is not None else vcs
+        ),
+        spec=ConfigurationSpec(
+            base=base.name, display_name=display_name, num_virtual_clusters=vcs_override
+        ),
+        uses_virtual_clusters=base.uses_virtual_clusters,
+    )
+
+
+def vc_variant(display_name: str, num_virtual_clusters: int) -> SteeringConfiguration:
+    """A VC configuration with an explicit virtual-cluster count and display name.
+
+    Used by the Figure 7 scalability study (``VC(4->4)``, ``VC(2->4)``) and
+    the virtual-cluster ablation sweep.  The returned configuration carries a
+    :class:`ConfigurationSpec`, so it can be dispatched to engine worker
+    processes and cached on disk like the stock Table 3 configurations.
+    """
+    return _derive_variant(TABLE3_CONFIGURATIONS["VC"], display_name, num_virtual_clusters)
+
+
+@dataclass(frozen=True)
+class InlineConfigurationSpec:
+    """Fallback identity of a hand-built :class:`SteeringConfiguration`.
+
+    Hand-built configurations (``spec=None``) hold arbitrary callables, so
+    they can be neither pickled to worker processes nor hashed into stable
+    cache keys -- but they *can* still run inline in the calling process,
+    exactly as the pre-engine serial runner executed them.  The engine
+    detects ``transportable = False`` and runs such jobs in-process with
+    caching disabled.
+    """
+
+    configuration: SteeringConfiguration
+
+    #: Engine hint: never ship this job to a worker or cache its result.
+    transportable = False
+
+    def resolve(self) -> SteeringConfiguration:
+        """The wrapped configuration itself (no registry lookup)."""
+        return self.configuration
+
+    @property
+    def display_name(self) -> str:
+        """Name used in result tables."""
+        return self.configuration.name
+
+    def cache_identity(self) -> Dict[str, object]:
+        raise ValueError(
+            f"configuration {self.configuration.name!r} has no ConfigurationSpec and "
+            "cannot be cached; build it via TABLE3_CONFIGURATIONS or vc_variant() "
+            "(or attach a spec) to enable caching and process-parallel execution"
+        )
+
+
+def spec_for(configuration: SteeringConfiguration):
+    """The engine-facing identity of ``configuration``.
+
+    Returns the configuration's transportable :class:`ConfigurationSpec` when
+    it has one (the Table 3 registry and :func:`vc_variant` attach specs), or
+    an :class:`InlineConfigurationSpec` fallback for hand-built
+    configurations -- those still execute, but only inline in the calling
+    process and without result caching.
+    """
+    if configuration.spec is not None:
+        return configuration.spec
+    return InlineConfigurationSpec(configuration)
 
 
 def table3_configurations(include_baseline: bool = True) -> List[SteeringConfiguration]:

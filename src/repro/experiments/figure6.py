@@ -97,17 +97,15 @@ def run_figure6(
     names = list(benchmarks) if benchmarks is not None else all_trace_names("all")
     configurations = [TABLE3_CONFIGURATIONS[name] for name in ("VC", "OB", "RHOP", "OP")]
     result = Figure6Result()
+    # Phase-level scatter points, as in the paper ("every point in the figure
+    # refers to a trace gathered by the PinPoints tool").  The whole
+    # benchmark x configuration x phase matrix is one engine batch, so a
+    # parallel runner simulates every scatter point concurrently.
+    matrix = runner.run_phase_matrix(names, configurations)
     for name in names:
         profile = profile_for(name)
         points = runner.simulation_points(profile)
-        # Phase-level scatter points, as in the paper ("every point in the
-        # figure refers to a trace gathered by the PinPoints tool").
-        per_config = {
-            configuration.name: [
-                runner.run_phase(profile, point, configuration) for point in points
-            ]
-            for configuration in configurations
-        }
+        per_config = matrix[name]
         for index, point in enumerate(points):
             vc = per_config["VC"][index].metrics
             for comparison in FIGURE6_COMPARISONS:

@@ -20,7 +20,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.experiments.configs import TABLE3_CONFIGURATIONS, SteeringConfiguration
+from repro.experiments.configs import TABLE3_CONFIGURATIONS, SteeringConfiguration, vc_variant
 from repro.experiments.runner import (
     BenchmarkResult,
     ExperimentRunner,
@@ -82,16 +82,14 @@ class Figure7Result:
 
 
 def _vc_variant(name: str, num_virtual_clusters: int) -> SteeringConfiguration:
-    """A VC configuration with an explicit virtual-cluster count and display name."""
-    base = TABLE3_CONFIGURATIONS["VC"]
-    return SteeringConfiguration(
-        name=name,
-        description=f"Hybrid virtual clustering with {num_virtual_clusters} virtual clusters",
-        partitioner_factory=lambda clusters, vcs, region: base.partitioner_factory(
-            clusters, num_virtual_clusters, region
-        ),
-        policy_factory=lambda clusters, vcs: base.policy_factory(clusters, num_virtual_clusters),
-    )
+    """A VC configuration with an explicit virtual-cluster count and display name.
+
+    Thin alias of :func:`repro.experiments.configs.vc_variant`, kept for
+    backwards compatibility; the shared helper attaches the
+    :class:`~repro.experiments.configs.ConfigurationSpec` the parallel engine
+    needs to ship the variant to worker processes.
+    """
+    return vc_variant(name, num_virtual_clusters)
 
 
 def run_figure7(

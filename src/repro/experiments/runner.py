@@ -5,21 +5,29 @@ ten PinPoints simulation points; each point is simulated under every
 configuration on the *same* dynamic trace (only the compiler annotations and
 the run-time policy change); and benchmark-level numbers are the
 PinPoints-weighted averages of the per-point numbers.
+
+All simulation is routed through the experiment engine
+(:mod:`repro.engine`): the runner expands its work into independent
+``benchmark x phase x configuration`` :class:`~repro.engine.job.SimulationJob`
+units, hands them to a :class:`~repro.engine.parallel.ParallelRunner` (serial
+by default, process-parallel with ``jobs > 1``, optionally backed by an
+on-disk result cache) and reassembles the PinPoints-weighted aggregates in a
+fixed order -- so serial, parallel and cache-replay runs are bit-identical.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.cluster.config import ClusterConfig
 from repro.cluster.metrics import SimulationMetrics
-from repro.cluster.processor import ClusteredProcessor
-from repro.experiments.configs import SteeringConfiguration
-from repro.program.program import Program
+from repro.engine.cache import ResultCache
+from repro.engine.job import SimulationJob
+from repro.engine.parallel import ParallelRunner
+from repro.experiments.configs import SteeringConfiguration, spec_for
 from repro.uops.registers import DEFAULT_REGISTER_SPACE, RegisterSpace
-from repro.uops.uop import DynamicUop
-from repro.workloads.generator import BenchmarkProfile, WorkloadGenerator
+from repro.workloads.generator import BenchmarkProfile
 from repro.workloads.pinpoints import SimulationPoint, select_simulation_points, weighted_average
 from repro.workloads.spec2000 import profile_for
 
@@ -96,32 +104,66 @@ class BenchmarkResult:
 class ExperimentRunner:
     """Run benchmarks under steering configurations with shared traces.
 
-    The runner caches the generated program and trace of every
-    ``(benchmark, phase)`` pair so that all configurations see the exact same
-    dynamic µop stream.
+    Every simulation goes through the experiment engine, which memoises the
+    generated program and trace of each ``(benchmark, phase)`` pair per
+    process so that all configurations see the exact same dynamic µop stream.
+
+    Parameters
+    ----------
+    settings:
+        Shared experiment knobs (machine geometry, trace length, phases).
+    register_space:
+        Architectural register namespace of the generated traces.
+    jobs:
+        Worker processes for simulation; ``1`` (the default) runs everything
+        inline in this process.  Any value produces bit-identical results.
+    cache_dir:
+        Directory for the on-disk result cache; ``None`` disables caching.
+    engine:
+        Pre-built :class:`~repro.engine.parallel.ParallelRunner` to use
+        instead of constructing one from ``jobs`` / ``cache_dir`` (lets
+        several runners share one cache and its statistics).
     """
 
     def __init__(
         self,
         settings: Optional[ExperimentSettings] = None,
         register_space: RegisterSpace = DEFAULT_REGISTER_SPACE,
+        jobs: int = 1,
+        cache_dir: Optional[str] = None,
+        engine: Optional[ParallelRunner] = None,
     ) -> None:
         self.settings = settings or ExperimentSettings()
         self.register_space = register_space
-        self._trace_cache: Dict[Tuple[str, int], Tuple[Program, List[DynamicUop]]] = {}
+        if engine is None:
+            cache = ResultCache(cache_dir) if cache_dir is not None else None
+            engine = ParallelRunner(max_workers=jobs, cache=cache)
+        self.engine = engine
 
-    # -- trace management -----------------------------------------------------------
-    def _trace_for(self, profile: BenchmarkProfile, phase: int) -> Tuple[Program, List[DynamicUop]]:
-        key = (profile.name, phase)
-        if key not in self._trace_cache:
-            generator = WorkloadGenerator(profile, register_space=self.register_space)
-            program, trace = generator.generate_trace(self.settings.trace_length, phase=phase)
-            self._trace_cache[key] = (program, trace)
-        return self._trace_cache[key]
-
+    # -- job expansion ----------------------------------------------------------------
     def simulation_points(self, profile: BenchmarkProfile) -> List[SimulationPoint]:
         """Weighted simulation points of ``profile`` under the current settings."""
         return select_simulation_points(profile, max_phases=self.settings.max_phases)
+
+    def make_job(
+        self,
+        profile: BenchmarkProfile,
+        point: SimulationPoint,
+        configuration: SteeringConfiguration,
+    ) -> SimulationJob:
+        """The engine job simulating ``point`` of ``profile`` under ``configuration``."""
+        settings = self.settings
+        return SimulationJob(
+            profile=profile,
+            phase=point.phase,
+            config_spec=spec_for(configuration),
+            trace_length=settings.trace_length,
+            region_size=settings.region_size,
+            num_clusters=settings.num_clusters,
+            num_virtual_clusters=settings.num_virtual_clusters,
+            config_overrides=tuple(sorted(settings.config_overrides.items())),
+            register_space=self.register_space,
+        )
 
     # -- running ---------------------------------------------------------------------
     def run_phase(
@@ -131,18 +173,7 @@ class ExperimentRunner:
         configuration: SteeringConfiguration,
     ) -> PhaseRunResult:
         """Simulate one simulation point under ``configuration``."""
-        settings = self.settings
-        program, trace = self._trace_for(profile, point.phase)
-        partitioner = configuration.make_partitioner(
-            settings.num_clusters, settings.num_virtual_clusters, settings.region_size
-        )
-        if partitioner is not None:
-            partitioner.annotate_program(program)
-        else:
-            program.clear_annotations()
-        policy = configuration.make_policy(settings.num_clusters, settings.num_virtual_clusters)
-        processor = ClusteredProcessor(settings.machine_config(), policy, self.register_space)
-        metrics = processor.run(trace)
+        metrics = self.engine.run([self.make_job(profile, point, configuration)])[0]
         return PhaseRunResult(
             benchmark=profile.name,
             phase=point.phase,
@@ -151,13 +182,19 @@ class ExperimentRunner:
             metrics=metrics,
         )
 
-    def run_benchmark(
-        self, benchmark: str | BenchmarkProfile, configuration: SteeringConfiguration
+    def _assemble(
+        self,
+        profile: BenchmarkProfile,
+        configuration_name: str,
+        points: Sequence[SimulationPoint],
+        phase_results: List[PhaseRunResult],
     ) -> BenchmarkResult:
-        """Simulate every simulation point of ``benchmark`` under ``configuration``."""
-        profile = benchmark if isinstance(benchmark, BenchmarkProfile) else profile_for(benchmark)
-        points = self.simulation_points(profile)
-        phase_results = [self.run_phase(profile, point, configuration) for point in points]
+        """Fold per-phase results into the PinPoints-weighted benchmark result."""
+        if len(phase_results) != len(points):
+            raise ValueError(
+                f"{profile.name}/{configuration_name}: {len(phase_results)} phase results "
+                f"for {len(points)} simulation points"
+            )
         cycles = weighted_average([r.metrics.cycles for r in phase_results], points)
         copies = weighted_average([r.metrics.copies_generated for r in phase_results], points)
         stalls = weighted_average(
@@ -169,7 +206,7 @@ class ExperimentRunner:
         return BenchmarkResult(
             benchmark=profile.name,
             suite=profile.suite,
-            configuration=configuration.name,
+            configuration=configuration_name,
             cycles=cycles,
             copies=copies,
             allocation_stalls=stalls,
@@ -177,23 +214,93 @@ class ExperimentRunner:
             phase_results=phase_results,
         )
 
+    def run_benchmark(
+        self, benchmark: Union[str, BenchmarkProfile], configuration: SteeringConfiguration
+    ) -> BenchmarkResult:
+        """Simulate every simulation point of ``benchmark`` under ``configuration``."""
+        profile = benchmark if isinstance(benchmark, BenchmarkProfile) else profile_for(benchmark)
+        phase_results = self.run_phase_matrix([profile], [configuration])[profile.name][
+            configuration.name
+        ]
+        return self._assemble(
+            profile, configuration.name, self.simulation_points(profile), phase_results
+        )
+
+    def run_phase_matrix(
+        self,
+        benchmarks: Sequence[Union[str, BenchmarkProfile]],
+        configurations: Sequence[SteeringConfiguration],
+    ) -> Dict[str, Dict[str, List[PhaseRunResult]]]:
+        """Per-phase results of every benchmark under every configuration.
+
+        The full ``benchmark x configuration x phase`` matrix is expanded
+        into one job batch, so with ``jobs > 1`` every cell simulates
+        concurrently.  Returns ``results[benchmark][configuration]`` as a
+        phase-ordered list of :class:`PhaseRunResult`.
+        """
+        profiles = [
+            benchmark if isinstance(benchmark, BenchmarkProfile) else profile_for(benchmark)
+            for benchmark in benchmarks
+        ]
+        # Results are keyed by name on both axes; duplicates would silently
+        # mix the metrics of distinct runs under one key.
+        for axis, names in (
+            ("benchmark", [profile.name for profile in profiles]),
+            ("configuration", [configuration.name for configuration in configurations]),
+        ):
+            duplicates = {name for name in names if names.count(name) > 1}
+            if duplicates:
+                raise ValueError(f"duplicate {axis} names in one run: {sorted(duplicates)}")
+        plan: List[Tuple[BenchmarkProfile, SteeringConfiguration, SimulationPoint]] = []
+        jobs: List[SimulationJob] = []
+        points_by_profile = {profile.name: self.simulation_points(profile) for profile in profiles}
+        for profile in profiles:
+            for configuration in configurations:
+                for point in points_by_profile[profile.name]:
+                    plan.append((profile, configuration, point))
+                    jobs.append(self.make_job(profile, point, configuration))
+        metrics = self.engine.run(jobs)
+        results: Dict[str, Dict[str, List[PhaseRunResult]]] = {
+            profile.name: {configuration.name: [] for configuration in configurations}
+            for profile in profiles
+        }
+        for (profile, configuration, point), phase_metrics in zip(plan, metrics):
+            results[profile.name][configuration.name].append(
+                PhaseRunResult(
+                    benchmark=profile.name,
+                    phase=point.phase,
+                    weight=point.weight,
+                    configuration=configuration.name,
+                    metrics=phase_metrics,
+                )
+            )
+        return results
+
     def run_suite(
         self,
-        benchmarks: Sequence[str | BenchmarkProfile],
+        benchmarks: Sequence[Union[str, BenchmarkProfile]],
         configurations: Sequence[SteeringConfiguration],
     ) -> Dict[str, Dict[str, BenchmarkResult]]:
         """Run every benchmark under every configuration.
 
         Returns ``results[benchmark_name][configuration_name]``.
         """
+        profiles = [
+            benchmark if isinstance(benchmark, BenchmarkProfile) else profile_for(benchmark)
+            for benchmark in benchmarks
+        ]
+        matrix = self.run_phase_matrix(profiles, configurations)
         results: Dict[str, Dict[str, BenchmarkResult]] = {}
-        for benchmark in benchmarks:
-            profile = (
-                benchmark if isinstance(benchmark, BenchmarkProfile) else profile_for(benchmark)
-            )
+        for profile in profiles:
+            points = self.simulation_points(profile)
             per_config: Dict[str, BenchmarkResult] = {}
             for configuration in configurations:
-                per_config[configuration.name] = self.run_benchmark(profile, configuration)
+                per_config[configuration.name] = self._assemble(
+                    profile,
+                    configuration.name,
+                    points,
+                    matrix[profile.name][configuration.name],
+                )
             results[profile.name] = per_config
         return results
 

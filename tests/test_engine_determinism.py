@@ -1,0 +1,149 @@
+"""Determinism contract of the parallel experiment engine.
+
+The engine's core promise (see :mod:`repro.engine`): serial, process-parallel
+and cache-replay runs of the same experiment produce **bit-identical**
+metrics -- exact equality on every counter of every phase, not approximate
+IPC.  These tests run one small experiment (2 benchmarks x 2 phases x 2
+configurations) through all three execution modes and compare the full
+:class:`~repro.cluster.metrics.SimulationMetrics` dataclasses, which covers
+every field including the per-cluster lists and the cache summary floats.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.cluster.metrics import SimulationMetrics
+from repro.experiments.configs import TABLE3_CONFIGURATIONS
+from repro.experiments.runner import ExperimentRunner, ExperimentSettings
+
+SETTINGS = ExperimentSettings(
+    num_clusters=2, num_virtual_clusters=2, trace_length=600, max_phases=2
+)
+BENCHMARKS = ["164.gzip-1", "178.galgel"]
+CONFIGURATIONS = [TABLE3_CONFIGURATIONS["OP"], TABLE3_CONFIGURATIONS["VC"]]
+
+
+def _phase_metrics(runner: ExperimentRunner) -> Dict[Tuple[str, str, int], SimulationMetrics]:
+    """Run the experiment and key every phase's metrics by (benchmark, config, phase)."""
+    out: Dict[Tuple[str, str, int], SimulationMetrics] = {}
+    suite = runner.run_suite(BENCHMARKS, CONFIGURATIONS)
+    for benchmark, per_config in suite.items():
+        for configuration, result in per_config.items():
+            for phase_result in result.phase_results:
+                out[(benchmark, configuration, phase_result.phase)] = phase_result.metrics
+    return out
+
+
+def _aggregates(runner: ExperimentRunner) -> List[Tuple[float, float, float, float]]:
+    """Weighted benchmark-level aggregates, in a fixed order."""
+    suite = runner.run_suite(BENCHMARKS, CONFIGURATIONS)
+    return [
+        (result.cycles, result.copies, result.allocation_stalls, result.committed_uops)
+        for benchmark in BENCHMARKS
+        for result in suite[benchmark].values()
+    ]
+
+
+def assert_identical(
+    a: Dict[Tuple[str, str, int], SimulationMetrics],
+    b: Dict[Tuple[str, str, int], SimulationMetrics],
+) -> None:
+    """Exact (dataclass) equality on every counter of every phase."""
+    assert a.keys() == b.keys()
+    for key in a:
+        # Dataclass equality compares every field: cycles, committed µops,
+        # copies, all stall counters, per-cluster lists and the cache summary.
+        assert a[key] == b[key], f"metrics diverge for {key}"
+
+
+class TestSerialVsParallel:
+    def test_phase_metrics_bit_identical(self):
+        serial = _phase_metrics(ExperimentRunner(SETTINGS, jobs=1))
+        parallel = _phase_metrics(ExperimentRunner(SETTINGS, jobs=2))
+        assert_identical(serial, parallel)
+
+    def test_weighted_aggregates_bit_identical(self):
+        # Exact float equality is intentional: the weighted reassembly runs
+        # in the parent process in a fixed order in both modes.
+        assert _aggregates(ExperimentRunner(SETTINGS, jobs=1)) == _aggregates(
+            ExperimentRunner(SETTINGS, jobs=2)
+        )
+
+    def test_single_phase_api_matches_batched(self):
+        """run_phase (one job) and run_suite (batched) agree exactly."""
+        runner = ExperimentRunner(SETTINGS)
+        from repro.workloads.spec2000 import profile_for
+
+        profile = profile_for("164.gzip-1")
+        point = runner.simulation_points(profile)[0]
+        single = runner.run_phase(profile, point, TABLE3_CONFIGURATIONS["VC"])
+        batched = _phase_metrics(runner)[("164.gzip-1", "VC", point.phase)]
+        assert single.metrics == batched
+
+
+class TestHandBuiltConfigurations:
+    """Configurations without a ConfigurationSpec still run (inline, uncached)."""
+
+    @staticmethod
+    def _spec_less_vc():
+        from repro.experiments.configs import SteeringConfiguration
+
+        base = TABLE3_CONFIGURATIONS["VC"]
+        return SteeringConfiguration(
+            name="VC",
+            description=base.description,
+            partitioner_factory=base.partitioner_factory,
+            policy_factory=base.policy_factory,
+            spec=None,
+        )
+
+    def test_inline_execution_matches_registry_configuration(self):
+        runner = ExperimentRunner(SETTINGS)
+        registry = runner.run_benchmark("164.gzip-1", TABLE3_CONFIGURATIONS["VC"])
+        hand_built = runner.run_benchmark("164.gzip-1", self._spec_less_vc())
+        assert [r.metrics for r in registry.phase_results] == [
+            r.metrics for r in hand_built.phase_results
+        ]
+
+    def test_hand_built_configurations_bypass_cache_and_pool(self, tmp_path):
+        runner = ExperimentRunner(SETTINGS, jobs=2, cache_dir=str(tmp_path / "cache"))
+        result = runner.run_benchmark("164.gzip-1", self._spec_less_vc())
+        assert result.cycles > 0
+        # Nothing was looked up or stored: the job is not transportable.
+        assert runner.engine.cache.stats() == {"hits": 0, "misses": 0, "stores": 0}
+
+
+class TestCacheReplay:
+    def test_cached_replay_bit_identical(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        fresh_runner = ExperimentRunner(SETTINGS, cache_dir=cache_dir)
+        fresh = _phase_metrics(fresh_runner)
+        assert fresh_runner.engine.cache.stores == len(fresh)
+
+        replay_runner = ExperimentRunner(SETTINGS, cache_dir=cache_dir)
+        replay = _phase_metrics(replay_runner)
+        # Every job must have been served from the cache, none re-simulated.
+        assert replay_runner.engine.cache.hits == len(replay)
+        assert replay_runner.engine.cache.misses == 0
+        assert_identical(fresh, replay)
+
+    def test_parallel_populates_cache_serial_replays_it(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        parallel = _phase_metrics(ExperimentRunner(SETTINGS, jobs=2, cache_dir=cache_dir))
+        replay_runner = ExperimentRunner(SETTINGS, jobs=1, cache_dir=cache_dir)
+        replay = _phase_metrics(replay_runner)
+        assert replay_runner.engine.cache.misses == 0
+        assert_identical(parallel, replay)
+
+    def test_cache_keys_depend_on_trace_length(self, tmp_path):
+        """A different trace length must never hit the same cache entries."""
+        cache_dir = str(tmp_path / "cache")
+        _phase_metrics(ExperimentRunner(SETTINGS, cache_dir=cache_dir))
+        other_settings = ExperimentSettings(
+            num_clusters=2, num_virtual_clusters=2, trace_length=700, max_phases=2
+        )
+        other_runner = ExperimentRunner(other_settings, cache_dir=cache_dir)
+        other = _phase_metrics(other_runner)
+        assert other_runner.engine.cache.hits == 0
+        assert other_runner.engine.cache.stores == len(other)

@@ -1,0 +1,84 @@
+"""Golden-file regression test of the simulator's key metrics.
+
+Pins the exact output of two small fixed-seed benchmark/configuration runs
+(see :mod:`repro.experiments.golden`): IPC, copy-µop count, inter-cluster
+traffic, commit count, cycles and per-cluster distributions.  If the trace
+generator, a compile-time pass or the cycle-level simulator changes
+behaviour, this test fails and forces the change to be deliberate.
+
+To regenerate after an intentional behaviour change::
+
+    PYTHONPATH=src python scripts/regenerate_golden_metrics.py
+
+then commit the refreshed ``tests/golden/golden_metrics.json`` together with
+the change (and say why in the commit message).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.golden import GOLDEN_CASES, GOLDEN_PATH, compute_golden_snapshot
+
+LOCAL_GOLDEN_PATH = Path(__file__).parent / "golden" / "golden_metrics.json"
+
+
+@pytest.fixture(scope="module")
+def golden():
+    """The committed snapshot."""
+    return json.loads(LOCAL_GOLDEN_PATH.read_text(encoding="utf-8"))
+
+
+@pytest.fixture(scope="module")
+def current():
+    """The snapshot a fresh simulation produces right now."""
+    return compute_golden_snapshot()
+
+
+class TestGoldenFile:
+    def test_snapshot_paths_agree(self):
+        """The regeneration script writes exactly the file this test reads."""
+        assert GOLDEN_PATH == LOCAL_GOLDEN_PATH.resolve()
+
+    def test_golden_file_covers_declared_cases(self, golden):
+        pairs = [(case["benchmark"], case["configuration"]) for case in golden["cases"]]
+        assert pairs == list(GOLDEN_CASES)
+
+    def test_settings_unchanged(self, golden, current):
+        assert golden["settings"] == current["settings"]
+
+    def test_metrics_match_exactly(self, golden, current):
+        """Exact equality on every pinned counter (and the derived IPC)."""
+        assert len(golden["cases"]) == len(current["cases"])
+        for expected, actual in zip(golden["cases"], current["cases"]):
+            label = f"{expected['benchmark']}/{expected['configuration']}"
+            for key in (
+                "benchmark",
+                "configuration",
+                "phase",
+                "cycles",
+                "committed_uops",
+                "dispatched_uops",
+                "copies_generated",
+                "inter_cluster_traffic",
+                "cluster_dispatch",
+                "allocation_stalls",
+                "balance_stalls",
+            ):
+                assert actual[key] == expected[key], (
+                    f"{label}: {key} changed from {expected[key]!r} to {actual[key]!r}; "
+                    "if intentional, run scripts/regenerate_golden_metrics.py"
+                )
+            # IPC is committed/cycles; exact equality holds because both
+            # sides compute the same float division on identical integers.
+            assert actual["ipc"] == expected["ipc"], f"{label}: IPC drifted"
+
+    def test_copies_pinned_nonzero_for_hybrid_case(self, golden):
+        """Guard against a silently degenerate snapshot: the VC case must
+        actually exercise the copy-generation machinery."""
+        by_config = {case["configuration"]: case for case in golden["cases"]}
+        assert by_config["VC"]["copies_generated"] > 0
+        assert sum(by_config["VC"]["inter_cluster_traffic"]) == by_config["VC"]["copies_generated"]

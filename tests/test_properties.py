@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
@@ -9,11 +11,15 @@ from hypothesis import HealthCheck, given, settings, strategies as st
 from repro.analysis.criticality import compute_criticality
 from repro.analysis.slack import compute_slack
 from repro.cluster.config import ClusterConfig
+from repro.cluster.metrics import SimulationMetrics
 from repro.cluster.processor import simulate_trace
 from repro.partition.chains import identify_chains
 from repro.partition.multilevel import MultilevelPartitioner
 from repro.partition.vc_partitioner import VirtualClusterPartitioner
 from repro.program.ddg import build_ddg
+from repro.steering.occupancy import OccupancyAwareSteering
+from repro.steering.one_cluster import OneClusterSteering
+from repro.steering.static_follow import StaticAssignmentSteering
 from repro.steering.virtual_cluster import VirtualClusterSteering
 from repro.uops.opcodes import UopClass
 from repro.uops.uop import DynamicUop, StaticInstruction
@@ -197,3 +203,166 @@ class TestSimulatorProperties:
         metrics = simulate_trace(trace, VirtualClusterSteering(2), config)
         assert sum(metrics.cluster_dispatch) == len(trace)
         assert metrics.committed_uops == len(trace)
+
+
+# ---------------------------------------------------------------------------
+# Steering / copy-generation invariants
+# ---------------------------------------------------------------------------
+
+
+def _annotate_static_clusters(instructions, assignment):
+    for inst, cluster in zip(instructions, assignment):
+        inst.static_cluster = cluster
+
+
+class TestSteeringAndCopyProperties:
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        instructions=instruction_sequences(min_size=4, max_size=60),
+        num_clusters=st.integers(min_value=1, max_value=4),
+    )
+    def test_every_dispatched_uop_lands_on_a_valid_cluster(self, instructions, num_clusters):
+        """The dispatch distribution covers exactly the machine's cluster ids."""
+        trace = trace_from_instructions(instructions)
+        config = ClusterConfig(
+            num_clusters=num_clusters, fetch_to_dispatch_latency=1, warm_caches=False
+        )
+        for policy in (OccupancyAwareSteering(), OneClusterSteering(), VirtualClusterSteering(2)):
+            metrics = simulate_trace(trace, policy, config)
+            assert len(metrics.cluster_dispatch) == num_clusters
+            assert all(count >= 0 for count in metrics.cluster_dispatch)
+            assert sum(metrics.cluster_dispatch) == metrics.dispatched_uops == len(trace)
+
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(instructions=instruction_sequences(min_size=4, max_size=60))
+    def test_no_copies_when_no_operand_is_remote(self, instructions):
+        """Copies are generated only for remote operands: a single-cluster
+        machine and an all-on-one-cluster assignment both need none."""
+        trace = trace_from_instructions(instructions)
+        single = ClusterConfig(num_clusters=1, fetch_to_dispatch_latency=1, warm_caches=False)
+        assert simulate_trace(trace, VirtualClusterSteering(2), single).copies_generated == 0
+
+        two = ClusterConfig(num_clusters=2, fetch_to_dispatch_latency=1, warm_caches=False)
+        assert simulate_trace(trace, OneClusterSteering(), two).copies_generated == 0
+
+        _annotate_static_clusters(instructions, [0] * len(instructions))
+        assert simulate_trace(trace, StaticAssignmentSteering(), two).copies_generated == 0
+
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(instructions=instruction_sequences(min_size=4, max_size=60))
+    def test_copies_generated_iff_a_dependence_crosses_clusters(self, instructions):
+        """Under a static placement, copy µops exist exactly when some true
+        register dependence connects instructions on different clusters
+        (live-ins are ready in every cluster, so they never need copies)."""
+        assignment = [sid % 2 for sid in range(len(instructions))]
+        _annotate_static_clusters(instructions, assignment)
+        trace = trace_from_instructions(instructions)
+        config = ClusterConfig(num_clusters=2, fetch_to_dispatch_latency=1, warm_caches=False)
+        metrics = simulate_trace(trace, StaticAssignmentSteering(), config)
+
+        ddg = build_ddg(instructions)
+        crossing = [
+            (producer, consumer)
+            for producer, consumer in ddg.edge_latency
+            if assignment[producer] != assignment[consumer]
+        ]
+        if crossing:
+            assert metrics.copies_generated > 0
+            # A value is copied to a given cluster at most once, so the copy
+            # count never exceeds the number of crossing dependences.
+            assert metrics.copies_generated <= len(crossing)
+        else:
+            assert metrics.copies_generated == 0
+        assert sum(metrics.cluster_copies) == metrics.copies_generated
+
+    def test_remote_operand_forces_exactly_one_copy(self):
+        """Deterministic 'if' direction: producer on cluster 0, consumer on
+        cluster 1 -- the value must traverse the interconnect exactly once."""
+        producer = StaticInstruction(0, UopClass.INT_ALU, (1,), ())
+        consumer = StaticInstruction(1, UopClass.INT_ALU, (2,), (1,))
+        _annotate_static_clusters([producer, consumer], [0, 1])
+        trace = trace_from_instructions([producer, consumer])
+        config = ClusterConfig(num_clusters=2, fetch_to_dispatch_latency=1, warm_caches=False)
+        metrics = simulate_trace(trace, StaticAssignmentSteering(), config)
+        assert metrics.copies_generated == 1
+        assert metrics.cluster_copies == [1, 0]  # inserted in the producing cluster
+        assert metrics.committed_uops == 2
+
+
+# ---------------------------------------------------------------------------
+# Engine serialisation invariants
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def metrics_objects(draw):
+    """Random but structurally valid SimulationMetrics instances."""
+    num_clusters = draw(st.integers(min_value=1, max_value=4))
+    counters = st.integers(min_value=0, max_value=10**9)
+    per_cluster = st.lists(counters, min_size=num_clusters, max_size=num_clusters)
+    cache_floats = st.floats(min_value=0.0, max_value=1e9, allow_nan=False, allow_infinity=False)
+    return SimulationMetrics(
+        num_clusters=num_clusters,
+        cycles=draw(counters),
+        committed_uops=draw(counters),
+        dispatched_uops=draw(counters),
+        copies_generated=draw(counters),
+        steering_stalls=draw(counters),
+        rob_stalls=draw(counters),
+        lsq_stalls=draw(counters),
+        mispredict_stalls=draw(counters),
+        branches=draw(counters),
+        mispredictions=draw(counters),
+        cluster_dispatch=draw(per_cluster),
+        allocation_stalls=draw(per_cluster),
+        cluster_copies=draw(per_cluster),
+        cache=draw(
+            st.dictionaries(
+                st.sampled_from(["l1_hit_rate", "l2_hit_rate", "l1_misses", "l2_misses"]),
+                cache_floats,
+                max_size=4,
+            )
+        ),
+        vc_remaps=draw(counters),
+    )
+
+
+class TestMetricsRoundTrip:
+    @common_settings
+    @given(metrics=metrics_objects())
+    def test_to_dict_from_dict_is_identity(self, metrics):
+        assert SimulationMetrics.from_dict(metrics.to_dict()) == metrics
+
+    @common_settings
+    @given(metrics=metrics_objects())
+    def test_round_trip_survives_json_exactly(self, metrics):
+        """The cache stores JSON: integers must stay integers and floats must
+        round-trip bit-for-bit (Python's repr-based JSON floats do)."""
+        rebuilt = SimulationMetrics.from_dict(json.loads(json.dumps(metrics.to_dict())))
+        assert rebuilt == metrics
+        assert isinstance(rebuilt.cycles, int)
+        assert all(isinstance(count, int) for count in rebuilt.cluster_dispatch)
+
+    def test_from_dict_rejects_unknown_fields(self):
+        dump = SimulationMetrics(num_clusters=2).to_dict()
+        dump["bogus_counter"] = 1
+        with pytest.raises(ValueError):
+            SimulationMetrics.from_dict(dump)
+
+    def test_from_dict_rejects_missing_fields(self):
+        """An incomplete dump (e.g. written by an older schema) must fail
+        loudly, not deserialise to default-zero counters."""
+        dump = SimulationMetrics(num_clusters=2).to_dict()
+        del dump["cycles"]
+        with pytest.raises(ValueError, match="missing"):
+            SimulationMetrics.from_dict(dump)
+        with pytest.raises(ValueError):
+            SimulationMetrics.from_dict({})
+
+    @settings(max_examples=5, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(instructions=instruction_sequences(min_size=5, max_size=40))
+    def test_real_simulation_metrics_round_trip(self, instructions):
+        trace = trace_from_instructions(instructions)
+        config = ClusterConfig(fetch_to_dispatch_latency=1, warm_caches=False)
+        metrics = simulate_trace(trace, VirtualClusterSteering(2), config)
+        assert SimulationMetrics.from_dict(json.loads(json.dumps(metrics.to_dict()))) == metrics
