@@ -46,7 +46,22 @@ from repro.experiments import (
     run_table1,
 )
 from repro.engine import ParallelRunner, ResultCache, SimulationJob
-from repro.experiments.configs import TABLE3_CONFIGURATIONS, make_configuration, vc_variant
+from repro.experiments.configs import (
+    SteeringConfiguration,
+    TABLE3_CONFIGURATIONS,
+    make_configuration,
+    vc_variant,
+)
+from repro.scenarios import (
+    MachineSpec,
+    ScenarioSpec,
+    SweepAxis,
+    builtin_scenario,
+    register_machine,
+    register_partitioner,
+    register_policy,
+    run_scenario,
+)
 from repro.partition import (
     OperationBasedPartitioner,
     RhopPartitioner,
@@ -104,9 +119,19 @@ __all__ = [
     "ParallelRunner",
     "ResultCache",
     "SimulationJob",
+    # scenarios
+    "ScenarioSpec",
+    "MachineSpec",
+    "SweepAxis",
+    "builtin_scenario",
+    "run_scenario",
+    "register_policy",
+    "register_partitioner",
+    "register_machine",
     # experiments
     "ExperimentRunner",
     "ExperimentSettings",
+    "SteeringConfiguration",
     "TABLE3_CONFIGURATIONS",
     "make_configuration",
     "vc_variant",

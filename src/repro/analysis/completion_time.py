@@ -29,7 +29,7 @@ time.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional
 
 from repro.program.ddg import DataDependenceGraph
 

@@ -9,7 +9,7 @@ in the dimensions that matter for steering.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List
+from typing import Dict, List
 
 import numpy as np
 

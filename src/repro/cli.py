@@ -2,20 +2,32 @@
 
 Exposes the experiment drivers without writing any Python::
 
-    python -m repro.cli table1
-    python -m repro.cli quickstart --benchmark 178.galgel --trace-length 4000
-    python -m repro.cli figure5 --benchmarks 164.gzip-1 181.mcf --trace-length 2500
-    python -m repro.cli figure6 --benchmarks 164.gzip-1 178.galgel
-    python -m repro.cli figure7 --trace-length 2000
-    python -m repro.cli ablations --sweep link-latency
-    python -m repro.cli list-benchmarks --suite fp
+    python -m repro run figure5 --jobs 4
+    python -m repro run my_scenario.json --benchmarks 164.gzip-1 181.mcf
+    python -m repro scenarios list
+    python -m repro list-configs
+    python -m repro quickstart --benchmark 178.galgel --trace-length 4000
+    python -m repro list-benchmarks --suite fp
+
+Every experiment is a *scenario*: a declarative, JSON-serializable
+description of machine, workloads, configurations and sweep axes (see
+:mod:`repro.scenarios`).  ``run`` executes either a built-in named scenario
+(``figure5``, ``table1``, ``sweep-link-latency``...) or a ``.json`` scenario
+file; ``scenarios list`` shows the built-ins, ``list-configs`` the registered
+policies, partitioners and machine presets custom scenarios can draw from.
+
+The pre-scenario commands (``figure5``, ``figure6``, ``figure7``, ``table1``,
+``ablations``) remain as thin shims over the equivalent built-in scenarios
+and emit a :class:`DeprecationWarning`; each prints exactly what its ``run
+<scenario>`` form prints (for the figures and Table 1 that is also
+byte-identical to the pre-scenario output; the ablations sweep labels its VC
+rows by the value column instead of ``VC(n)``).
 
 Every command prints the same plain-text tables the benchmark harness emits.
 
 Running experiments in parallel
 -------------------------------
-Every experiment command (``quickstart``, ``figure5``, ``figure6``,
-``figure7``, ``ablations``) routes its simulations through the experiment
+Every experiment command routes its simulations through the experiment
 engine (:mod:`repro.engine`) and accepts three knobs:
 
 ``--jobs N``
@@ -24,19 +36,19 @@ engine (:mod:`repro.engine`) and accepts three knobs:
     bit-identical for every ``N`` -- traces are regenerated from their seeds
     inside each worker, the simulator is deterministic and the weighted
     reassembly happens in a fixed order in the parent process -- so
-    ``figure5 --jobs 4`` prints exactly the same tables as ``--jobs 1``.
+    ``run figure5 --jobs 4`` prints exactly the same tables as ``--jobs 1``.
 
 ``--cache-dir PATH``
-    On-disk result cache (default ``.repro_cache``, or ``$REPRO_CACHE_DIR``).
-    Repeated figure runs and overlapping sweeps skip already-simulated
-    points.  Entries are keyed by the full simulation *inputs* (profile,
-    phase, configuration, trace length, the resolved machine configuration
-    and the register space), so for unchanged code a hit is exactly the
-    metrics a fresh run would produce.  Keys cannot see edits to simulator
-    *logic*: after such a change, bump
-    :data:`repro.engine.job.CACHE_SCHEMA_VERSION` or pass ``--no-cache``.
-    Every cached report ends with an ``[engine] ... hits/misses`` footer so
-    replayed results are always visible.
+    On-disk result cache (default ``.repro_cache``, or ``$REPRO_CACHE_DIR``,
+    resolved when the command runs).  Repeated figure runs and overlapping
+    sweeps skip already-simulated points.  Entries are keyed by the full
+    simulation *inputs* (profile, phase, configuration identity, trace
+    length, the resolved machine configuration and the register space), so
+    for unchanged code a hit is exactly the metrics a fresh run would
+    produce.  Keys cannot see edits to simulator *logic*: after such a
+    change, bump :data:`repro.engine.job.CACHE_SCHEMA_VERSION` or pass
+    ``--no-cache``.  Every cached report ends with an ``[engine] ...
+    hits/misses`` footer so replayed results are always visible.
 
 ``--no-cache``
     Disable the cache for this invocation (simulate everything afresh).
@@ -46,49 +58,49 @@ from __future__ import annotations
 
 import argparse
 import os
+import sys
+import warnings
 from typing import List, Optional, Sequence
 
 from repro.engine import ParallelRunner, ResultCache
-from repro.experiments.ablations import (
-    DEFAULT_ABLATION_BENCHMARKS,
-    sweep_issue_queue_size,
-    sweep_link_latency,
-    sweep_region_size,
-    sweep_virtual_clusters,
-)
-from repro.experiments.figure5 import run_figure5
-from repro.experiments.figure6 import FIGURE6_COMPARISONS, run_figure6
-from repro.experiments.figure7 import run_figure7
-from repro.experiments.report import format_key_values, format_table
 from repro.experiments.configs import TABLE3_CONFIGURATIONS
-from repro.experiments.runner import ExperimentRunner, ExperimentSettings
-from repro.experiments.table1 import run_table1
+from repro.scenarios.builtin import builtin_scenario
+from repro.scenarios.registry import MACHINES, PARTITIONERS, POLICIES, SCENARIOS
+from repro.scenarios.runner import REPORT_KINDS, run_scenario
+from repro.scenarios.spec import ScenarioSpec, scenario_overrides
 from repro.workloads.spec2000 import all_trace_names
 
-#: Default on-disk result cache used by the experiment commands.
-DEFAULT_CACHE_DIR = os.environ.get("REPRO_CACHE_DIR", ".repro_cache")
+#: Deprecated command -> built-in scenario it now shims over.
+DEPRECATED_COMMANDS = {
+    "figure5": "figure5",
+    "figure6": "figure6",
+    "figure7": "figure7",
+    "table1": "table1",
+}
 
-#: The ablation sweeps exposed by the ``ablations`` command.
-ABLATION_SWEEPS = {
-    "virtual-clusters": sweep_virtual_clusters,
-    "link-latency": sweep_link_latency,
-    "region-size": sweep_region_size,
-    "issue-queue-size": sweep_issue_queue_size,
+#: Deprecated ``ablations --sweep`` choice -> built-in sweep scenario.
+ABLATION_SCENARIOS = {
+    "virtual-clusters": "sweep-virtual-clusters",
+    "link-latency": "sweep-link-latency",
+    "region-size": "sweep-region-size",
+    "issue-queue-size": "sweep-issue-queue-size",
 }
 
 
-def _settings(args: argparse.Namespace, num_clusters: int, num_virtual_clusters: int) -> ExperimentSettings:
-    return ExperimentSettings(
-        num_clusters=num_clusters,
-        num_virtual_clusters=num_virtual_clusters,
-        trace_length=args.trace_length,
-        max_phases=args.phases,
-    )
+def default_cache_dir() -> str:
+    """The cache directory used when ``--cache-dir`` is not passed.
+
+    Read from ``$REPRO_CACHE_DIR`` at *invocation* time (not import time),
+    so setting the variable after ``import repro.cli`` is honoured.
+    """
+    return os.environ.get("REPRO_CACHE_DIR", ".repro_cache")
 
 
 def _cache_dir(args: argparse.Namespace) -> Optional[str]:
     """The cache directory selected by ``--cache-dir`` / ``--no-cache``."""
-    return None if args.no_cache else args.cache_dir
+    if args.no_cache:
+        return None
+    return args.cache_dir if args.cache_dir is not None else default_cache_dir()
 
 
 def _engine(args: argparse.Namespace) -> ParallelRunner:
@@ -103,11 +115,14 @@ def _engine_footer(engine: ParallelRunner) -> str:
 
     Makes cache hits visible: a stale cache (e.g. after changing simulator
     code without bumping the engine's ``CACHE_SCHEMA_VERSION``) would
-    otherwise silently reproduce old numbers.
+    otherwise silently reproduce old numbers.  Commands that never consult
+    the cache (e.g. ``run table1``, which simulates nothing) get no footer.
     """
     if engine.cache is None:
         return ""
     stats = engine.cache.stats()
+    if stats["hits"] + stats["misses"] + stats["stores"] == 0:
+        return ""
     return (
         f"[engine] jobs={engine.max_workers}  cache={engine.cache.root}  "
         f"hits={stats['hits']} misses={stats['misses']} stored={stats['stores']}  "
@@ -117,7 +132,8 @@ def _engine_footer(engine: ParallelRunner) -> str:
 
 def _benchmarks(args: argparse.Namespace) -> Optional[List[str]]:
     if getattr(args, "benchmarks", None):
-        unknown = [name for name in args.benchmarks if name not in all_trace_names("all")]
+        known = set(all_trace_names("all"))
+        unknown = [name for name in args.benchmarks if name not in known]
         if unknown:
             raise SystemExit(f"unknown benchmarks: {unknown}")
         return list(args.benchmarks)
@@ -147,10 +163,10 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--cache-dir",
-        default=DEFAULT_CACHE_DIR,
+        default=None,
         metavar="PATH",
         help="on-disk result cache; repeated runs and overlapping sweeps "
-        f"skip already-simulated points (default {DEFAULT_CACHE_DIR!r}, "
+        "skip already-simulated points (default '.repro_cache', "
         "overridable via $REPRO_CACHE_DIR)",
     )
     parser.add_argument(
@@ -160,17 +176,126 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _add_common_options(parser: argparse.ArgumentParser) -> None:
+def _add_common_options(
+    parser: argparse.ArgumentParser, trace_length_default: Optional[int] = 2500
+) -> None:
     parser.add_argument(
-        "--trace-length", type=int, default=2500, help="dynamic µops per simulation point"
+        "--trace-length",
+        type=int,
+        default=trace_length_default,
+        help="dynamic µops per simulation point",
     )
     parser.add_argument(
-        "--phases", type=int, default=1, help="PinPoints phases per benchmark (max 10)"
+        "--phases",
+        type=int,
+        default=1 if trace_length_default is not None else None,
+        help="PinPoints phases per benchmark (max 10)",
     )
     parser.add_argument(
-        "--benchmarks", nargs="*", default=None, help="trace names (default: the full suite)"
+        "--benchmarks", nargs="*", default=None, help="trace names (default: the scenario's set)"
     )
     _add_engine_options(parser)
+
+
+def _warn_deprecated(command: str, replacement: str) -> None:
+    message = (
+        f"'repro {command}' is deprecated; use 'repro {replacement}' "
+        "(same tables, declarative scenario underneath)"
+    )
+    warnings.warn(message, DeprecationWarning, stacklevel=3)
+    # The default warning filter hides DeprecationWarning outside __main__,
+    # so the CLI user would never see it; say it on stderr as well.
+    print(f"warning: {message}", file=sys.stderr)
+
+
+def _execute_spec(spec: ScenarioSpec, args: argparse.Namespace) -> str:
+    """Validate ``spec``, run it on the args-configured engine, append the footer.
+
+    User errors -- typo'd registry names, a figure kind on the wrong machine,
+    sweep axes on a non-sweep kind, bad override fields -- exit cleanly
+    instead of surfacing as raw tracebacks.
+    """
+    try:
+        spec.validate()
+    except (KeyError, ValueError) as exc:
+        raise SystemExit(f"invalid scenario {spec.name!r}: {exc}")
+    engine = _engine(args)
+    try:
+        report = run_scenario(spec, engine)
+    except (ValueError, TypeError) as exc:
+        raise SystemExit(f"cannot run scenario {spec.name!r}: {exc}")
+    return report + _engine_footer(engine)
+
+
+def _run_spec(spec: ScenarioSpec, args: argparse.Namespace) -> str:
+    """Apply the common CLI overrides to ``spec``, then execute it."""
+    spec = scenario_overrides(
+        spec,
+        benchmarks=_benchmarks(args),
+        trace_length=getattr(args, "trace_length", None),
+        max_phases=getattr(args, "phases", None),
+    )
+    return _execute_spec(spec, args)
+
+
+def _load_scenario(ref: str) -> ScenarioSpec:
+    """Resolve ``run``'s positional: a ``.json`` file path or a built-in name.
+
+    Explicit paths (``.json`` suffix or a path separator) always mean a file;
+    otherwise built-in names win, so a stray ``figure5`` file or directory in
+    the working directory cannot shadow the built-in scenario.
+    """
+    explicit_path = ref.endswith(".json") or os.path.sep in ref
+    if not explicit_path and ref in SCENARIOS:
+        return builtin_scenario(ref)
+    if explicit_path or os.path.exists(ref):
+        if not os.path.exists(ref):
+            raise SystemExit(f"scenario file not found: {ref}")
+        try:
+            return ScenarioSpec.from_file(ref)
+        except (ValueError, KeyError, TypeError, OSError) as exc:
+            raise SystemExit(f"invalid scenario file {ref}: {exc}")
+    raise SystemExit(
+        f"unknown scenario {ref!r}; built-ins: {', '.join(SCENARIOS.names())} "
+        "(or pass a .json scenario file)"
+    )
+
+
+# -- commands -------------------------------------------------------------------------
+
+
+def cmd_run(args: argparse.Namespace) -> str:
+    """``run``: execute a built-in scenario or a JSON scenario file."""
+    return _run_spec(_load_scenario(args.scenario), args)
+
+
+def cmd_scenarios(args: argparse.Namespace) -> str:
+    """``scenarios list``: the built-in named scenarios."""
+    lines = []
+    for name in SCENARIOS.names():
+        spec = builtin_scenario(name)
+        lines.append(f"{name:<26} [{spec.report}]  {spec.description}")
+    return "\n".join(lines) + "\n"
+
+
+def cmd_list_configs(args: argparse.Namespace) -> str:
+    """``list-configs``: registered configurations, policies, partitioners, machines."""
+    sections = [
+        (
+            "Table 3 configurations",
+            [f"{c.name:<14} {c.description}" for c in TABLE3_CONFIGURATIONS.values()],
+        ),
+        ("steering policies", POLICIES.names()),
+        ("partitioners", PARTITIONERS.names()),
+        ("machine presets", MACHINES.names()),
+        ("report kinds", REPORT_KINDS.names()),
+    ]
+    lines = []
+    for title, entries in sections:
+        lines.append(f"{title}:")
+        lines.extend(f"  {entry}" for entry in entries)
+        lines.append("")
+    return "\n".join(lines)
 
 
 def cmd_list_benchmarks(args: argparse.Namespace) -> str:
@@ -179,121 +304,39 @@ def cmd_list_benchmarks(args: argparse.Namespace) -> str:
     return "\n".join(names) + "\n"
 
 
-def cmd_table1(args: argparse.Namespace) -> str:
-    """``table1``: steering-unit complexity comparison."""
-    rows = run_table1(num_virtual_clusters=args.virtual_clusters)
-    return format_table(rows, title="Table 1 -- steering-unit complexity")
-
-
 def cmd_quickstart(args: argparse.Namespace) -> str:
-    """``quickstart``: all five configurations on one benchmark."""
-    settings = ExperimentSettings(
-        num_clusters=2, num_virtual_clusters=2, trace_length=args.trace_length, max_phases=1
+    """``quickstart``: the ``quickstart`` scenario with ``--benchmark`` applied."""
+    spec = scenario_overrides(
+        builtin_scenario("quickstart"),
+        benchmarks=[args.benchmark],
+        trace_length=args.trace_length,
     )
-    engine = _engine(args)
-    runner = ExperimentRunner(settings, engine=engine)
-    per_config = runner.run_suite([args.benchmark], list(TABLE3_CONFIGURATIONS.values()))[
-        args.benchmark
-    ]
-    results = {
-        name: per_config[name].phase_results[0].metrics for name in TABLE3_CONFIGURATIONS
-    }
-    baseline = results["OP"].cycles
-    rows = []
-    for name in ("OP", "one-cluster", "OB", "RHOP", "VC"):
-        metrics = results[name]
-        rows.append(
-            {
-                "configuration": name,
-                "cycles": metrics.cycles,
-                "slowdown vs OP (%)": 100.0 * (metrics.cycles / baseline - 1.0),
-                "IPC": metrics.ipc,
-                "copies": metrics.copies_generated,
-                "balance stalls": metrics.balance_stalls,
-            }
-        )
-    return (
-        format_table(rows, title=f"{args.benchmark}: Table 3 configurations")
-        + _engine_footer(engine)
-    )
+    return _execute_spec(spec, args)
 
 
-def cmd_figure5(args: argparse.Namespace) -> str:
-    """``figure5``: 2-cluster slowdown versus OP."""
-    settings = _settings(args, 2, 2)
-    engine = _engine(args)
-    result = run_figure5(
-        settings, benchmarks=_benchmarks(args), runner=ExperimentRunner(settings, engine=engine)
-    )
-    out = [
-        format_table(result.benchmark_rows("int"), title="Figure 5(a) -- SPECint slowdown vs OP (%)"),
-        format_table(result.benchmark_rows("fp"), title="Figure 5(b) -- SPECfp slowdown vs OP (%)"),
-        format_table(result.averages_table(), title="Figure 5(c) -- average slowdown vs OP (%)"),
-        _engine_footer(engine),
-    ]
-    return "\n".join(out)
+def cmd_table1(args: argparse.Namespace) -> str:
+    """``table1``: deprecated shim over the ``table1`` scenario."""
+    _warn_deprecated("table1", "run table1")
+    spec = builtin_scenario("table1")
+    if args.virtual_clusters != spec.num_virtual_clusters:
+        from dataclasses import replace
+
+        spec = replace(spec, num_virtual_clusters=args.virtual_clusters)
+    return run_scenario(spec)
 
 
-def cmd_figure6(args: argparse.Namespace) -> str:
-    """``figure6``: copy / balance trade-off summaries."""
-    settings = _settings(args, 2, 2)
-    engine = _engine(args)
-    result = run_figure6(
-        settings, benchmarks=_benchmarks(args), runner=ExperimentRunner(settings, engine=engine)
-    )
-    out = []
-    for comparison in FIGURE6_COMPARISONS:
-        out.append(
-            format_key_values(result.summary(comparison), title=f"Figure 6 -- VC vs {comparison}")
-        )
-    out.append(_engine_footer(engine))
-    return "\n".join(out)
-
-
-def cmd_figure7(args: argparse.Namespace) -> str:
-    """``figure7``: 4-cluster scalability study."""
-    settings = _settings(args, 4, 4)
-    engine = _engine(args)
-    result = run_figure7(
-        settings, benchmarks=_benchmarks(args), runner=ExperimentRunner(settings, engine=engine)
-    )
-    out = [
-        format_table(result.averages_table(), title="Figure 7(c) -- 4-cluster average slowdown vs OP (%)"),
-        f"VC(4->4) copies relative to VC(2->4): {result.copy_overhead_4to4_vs_2to4():+.1f} % (paper: +28 %)\n",
-        _engine_footer(engine),
-    ]
-    return "\n".join(out)
+def cmd_figure(args: argparse.Namespace) -> str:
+    """``figure5``/``figure6``/``figure7``: deprecated shims over the scenarios."""
+    scenario = DEPRECATED_COMMANDS[args.command]
+    _warn_deprecated(args.command, f"run {scenario}")
+    return _run_spec(builtin_scenario(scenario), args)
 
 
 def cmd_ablations(args: argparse.Namespace) -> str:
-    """``ablations``: sensitivity sweeps beyond the paper's figures."""
-    sweep = ABLATION_SWEEPS[args.sweep]
-    base = ExperimentSettings(
-        num_clusters=2,
-        num_virtual_clusters=2,
-        trace_length=args.trace_length,
-        max_phases=args.phases,
-    )
-    benchmarks = _benchmarks(args) or list(DEFAULT_ABLATION_BENCHMARKS)
-    engine = _engine(args)
-    result = sweep(benchmarks=benchmarks, base_settings=base, engine=engine)
-    rows = []
-    for point in result.points:
-        rows.append(
-            {
-                result.parameter: point.value,
-                "configuration": point.configuration,
-                "cycles": point.cycles,
-                "copies": point.copies,
-                "allocation stalls": point.allocation_stalls,
-                "slowdown vs OP (%)": (
-                    "-" if point.slowdown_vs_op is None else round(point.slowdown_vs_op, 2)
-                ),
-            }
-        )
-    return format_table(rows, title=f"Ablation sweep -- {result.parameter}") + _engine_footer(
-        engine
-    )
+    """``ablations``: deprecated shim over the built-in sweep scenarios."""
+    scenario = ABLATION_SCENARIOS[args.sweep]
+    _warn_deprecated(f"ablations --sweep {args.sweep}", f"run {scenario}")
+    return _run_spec(builtin_scenario(scenario), args)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -304,13 +347,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
+    run_parser = subparsers.add_parser(
+        "run", help="run a built-in scenario or a .json scenario file"
+    )
+    run_parser.add_argument(
+        "scenario",
+        help="built-in scenario name (see 'scenarios list') or path to a scenario file",
+    )
+    _add_common_options(run_parser, trace_length_default=None)
+    run_parser.set_defaults(handler=cmd_run)
+
+    scenarios_parser = subparsers.add_parser("scenarios", help="inspect built-in scenarios")
+    scenarios_parser.add_argument("action", nargs="?", choices=("list",), default="list")
+    scenarios_parser.set_defaults(handler=cmd_scenarios)
+
+    configs_parser = subparsers.add_parser(
+        "list-configs", help="list registered configurations, policies, partitioners, machines"
+    )
+    configs_parser.set_defaults(handler=cmd_list_configs)
+
     list_parser = subparsers.add_parser("list-benchmarks", help="list available trace names")
     list_parser.add_argument("--suite", choices=("int", "fp", "all"), default="all")
     list_parser.set_defaults(handler=cmd_list_benchmarks)
-
-    table1_parser = subparsers.add_parser("table1", help="steering-unit complexity (Table 1)")
-    table1_parser.add_argument("--virtual-clusters", type=int, default=2)
-    table1_parser.set_defaults(handler=cmd_table1)
 
     quick_parser = subparsers.add_parser("quickstart", help="five configurations on one benchmark")
     quick_parser.add_argument("--benchmark", default="164.gzip-1")
@@ -318,21 +376,28 @@ def build_parser() -> argparse.ArgumentParser:
     _add_engine_options(quick_parser)
     quick_parser.set_defaults(handler=cmd_quickstart)
 
-    for name, handler, help_text in (
-        ("figure5", cmd_figure5, "2-cluster slowdown vs OP (Figure 5)"),
-        ("figure6", cmd_figure6, "copy/balance trade-off (Figure 6)"),
-        ("figure7", cmd_figure7, "4-cluster scalability (Figure 7)"),
+    table1_parser = subparsers.add_parser(
+        "table1", help="[deprecated: run table1] steering-unit complexity (Table 1)"
+    )
+    table1_parser.add_argument("--virtual-clusters", type=int, default=2)
+    table1_parser.set_defaults(handler=cmd_table1)
+
+    for name, help_text in (
+        ("figure5", "[deprecated: run figure5] 2-cluster slowdown vs OP (Figure 5)"),
+        ("figure6", "[deprecated: run figure6] copy/balance trade-off (Figure 6)"),
+        ("figure7", "[deprecated: run figure7] 4-cluster scalability (Figure 7)"),
     ):
         sub = subparsers.add_parser(name, help=help_text)
         _add_common_options(sub)
-        sub.set_defaults(handler=handler)
+        sub.set_defaults(handler=cmd_figure)
 
     ablations_parser = subparsers.add_parser(
-        "ablations", help="sensitivity sweeps (virtual clusters, link latency, ...)"
+        "ablations",
+        help="[deprecated: run sweep-*] sensitivity sweeps (virtual clusters, link latency, ...)",
     )
     ablations_parser.add_argument(
         "--sweep",
-        choices=sorted(ABLATION_SWEEPS),
+        choices=sorted(ABLATION_SCENARIOS),
         default="virtual-clusters",
         help="which parameter to sweep",
     )

@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from repro.scenarios.registry import register_machine
+
 
 @dataclass(frozen=True)
 class ClusterConfig:
@@ -114,12 +116,20 @@ class ClusterConfig:
         return self.issue_int_width + self.issue_fp_width
 
 
+@register_machine("table2-2c")
 def two_cluster_config(**overrides) -> ClusterConfig:
     """The paper's base machine: 2 clusters with Table 2 parameters."""
     return ClusterConfig(num_clusters=2).with_overrides(**overrides) if overrides else ClusterConfig(num_clusters=2)
 
 
+@register_machine("table2-4c")
 def four_cluster_config(**overrides) -> ClusterConfig:
     """The scalability machine of Section 5.4: 4 clusters, same per-cluster resources."""
     config = ClusterConfig(num_clusters=4)
     return config.with_overrides(**overrides) if overrides else config
+
+
+@register_machine("table2")
+def table2_config(num_clusters: int = 2, **overrides) -> ClusterConfig:
+    """Table 2 parameters at any cluster count (``overrides: {"num_clusters": N}``)."""
+    return ClusterConfig(num_clusters=num_clusters).with_overrides(**overrides)

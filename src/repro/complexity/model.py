@@ -25,7 +25,7 @@ can reason about how the cost scales with cluster count and register count.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, List, Sequence
 
 from repro.cluster.config import ClusterConfig
 from repro.steering.base import SteeringHardware, SteeringPolicy

@@ -4,8 +4,10 @@ A :class:`SimulationJob` is the unit of work of the engine: one
 ``(benchmark profile, PinPoints phase, steering configuration)`` triple plus
 every knob that influences the simulation result (trace length, region size,
 machine geometry, configuration overrides, register space).  Jobs are plain
-frozen dataclasses built only from picklable values, so they can be shipped
-to ``ProcessPoolExecutor`` workers, and they expose a stable content hash
+frozen dataclasses built only from picklable values -- the configuration is
+itself declarative data (registry names plus parameters, see
+:mod:`repro.experiments.configs`) -- so every job can be shipped to
+``ProcessPoolExecutor`` workers, and each exposes a stable content hash
 (:meth:`SimulationJob.cache_key`) used by the on-disk result cache.
 
 Two invariants matter here:
@@ -13,7 +15,8 @@ Two invariants matter here:
 * **Everything that changes the metrics is part of the key.**  The key covers
   the full benchmark profile (including its ``base_seed``), the phase, the
   trace length, the machine geometry and overrides, the region size, the
-  register space and the configuration's :class:`ConfigurationSpec` identity.
+  register space and the configuration's registry identity (policy and
+  partitioner names plus their parameters).
 * **Nothing presentation-only is part of the key.**  PinPoints weights only
   affect the *aggregation* of per-phase metrics, and a configuration's
   display name only affects table headings; both are excluded so overlapping
@@ -32,13 +35,15 @@ from repro.uops.registers import DEFAULT_REGISTER_SPACE, RegisterSpace
 from repro.workloads.generator import BenchmarkProfile
 
 if TYPE_CHECKING:  # import at type-check time only: repro.experiments imports
-    # the engine back, and jobs only *hold* specs (the instances carry their
-    # own resolve()/cache_identity() methods), so no runtime import is needed.
-    from repro.experiments.configs import ConfigurationSpec
+    # the engine back, and jobs only *hold* configurations (the instances
+    # carry their own make_policy()/cache_identity() methods), so no runtime
+    # import is needed.
+    from repro.experiments.configs import SteeringConfiguration
 
 #: Bump when the simulator or workload substrate changes in a way that makes
-#: previously cached metrics stale.
-CACHE_SCHEMA_VERSION = 1
+#: previously cached metrics stale.  (2: declarative registry-based
+#: configuration identities replaced the Table 3 base-name identities.)
+CACHE_SCHEMA_VERSION = 2
 
 
 def _canonical_json(payload: object) -> str:
@@ -67,8 +72,8 @@ class SimulationJob:
         The phase *weight* is deliberately not part of the job: it only
         affects the benchmark-level reassembly, which the runner performs
         from its simulation-point plan.
-    config_spec:
-        Transportable identity of the steering configuration.
+    configuration:
+        The declarative steering configuration (registry names + parameters).
     trace_length:
         Dynamic µops to simulate.
     region_size:
@@ -84,7 +89,7 @@ class SimulationJob:
 
     profile: BenchmarkProfile
     phase: int
-    config_spec: "ConfigurationSpec"
+    configuration: "SteeringConfiguration"
     trace_length: int
     region_size: int
     num_clusters: int
@@ -95,18 +100,7 @@ class SimulationJob:
     @property
     def label(self) -> str:
         """Human-readable job label, e.g. ``"164.gzip-1/p0/VC"``."""
-        return f"{self.profile.name}/p{self.phase}/{self.config_spec.display_name}"
-
-    @property
-    def transportable(self) -> bool:
-        """Whether this job may be shipped to worker processes and cached.
-
-        ``False`` for hand-built configurations wrapped in an
-        ``InlineConfigurationSpec``: their factory callables cannot be
-        pickled or stably hashed, so the engine runs them inline in the
-        calling process with caching disabled.
-        """
-        return getattr(self.config_spec, "transportable", True)
+        return f"{self.profile.name}/p{self.phase}/{self.configuration.name}"
 
     def trace_key(self) -> str:
         """Stable hash of everything that determines the generated trace.
@@ -142,27 +136,29 @@ class SimulationJob:
         every field, not just the overrides -- so editing a default in
         ``cluster/config.py`` invalidates old cache entries automatically.
         Conversely, only the knobs the configuration actually *consumes* are
-        keyed: the virtual-cluster count enters as its effective value (spec
-        override folded over the settings value) and only for configurations
-        that use it, and the compiler region size only for configurations
-        with a compile-time pass.  Hence ``VC(2->4)`` shares entries with an
-        equivalently configured plain VC run, and the OP baseline of a
-        virtual-cluster or region-size sweep is simulated once, not once per
-        swept value.  Changes to simulator *logic* are invisible to hashing;
-        bump :data:`CACHE_SCHEMA_VERSION` for those.
+        keyed: the virtual-cluster count enters as its effective value
+        (configuration override folded over the settings value) and only for
+        configurations that use it, and the compiler region size only for
+        configurations with a compile-time pass.  Hence ``VC(2->4)`` shares
+        entries with an equivalently configured plain VC run, and the OP
+        baseline of a virtual-cluster or region-size sweep is simulated once,
+        not once per swept value.  Changes to simulator *logic* are invisible
+        to hashing; bump :data:`CACHE_SCHEMA_VERSION` for those.
         """
-        identity = dict(self.config_spec.cache_identity())
-        override = identity.pop("num_virtual_clusters", None)
-        configuration = self.config_spec.resolve()
-        if configuration.uses_virtual_clusters:
-            effective_vcs = override if override is not None else self.num_virtual_clusters
+        configuration = self.configuration
+        # A pinned count is an explicit declaration that the count matters,
+        # so it is keyed even when uses_virtual_clusters was (mis)left False
+        # -- e.g. a hand-written scenario pinning VC variants must never
+        # share cache entries across counts.
+        if configuration.uses_virtual_clusters or configuration.num_virtual_clusters is not None:
+            effective_vcs = configuration.effective_virtual_clusters(self.num_virtual_clusters)
         else:
             effective_vcs = None
         payload = {
             "schema": CACHE_SCHEMA_VERSION,
             "profile": _profile_identity(self.profile),
             "phase": self.phase,
-            "configuration": identity,
+            "configuration": configuration.cache_identity(),
             "trace_length": self.trace_length,
             "region_size": self.region_size if configuration.uses_compiler else None,
             "num_virtual_clusters": effective_vcs,

@@ -58,7 +58,7 @@ def execute_job(job: SimulationJob) -> Dict[str, object]:
     cross-process payload plain (cheap to pickle, schema-checked on rebuild).
     """
     program, trace = _trace_for(job)
-    configuration = job.config_spec.resolve()
+    configuration = job.configuration
     partitioner = configuration.make_partitioner(
         job.num_clusters, job.num_virtual_clusters, job.region_size
     )
@@ -114,19 +114,15 @@ class ParallelRunner:
     def run(self, jobs: Sequence[SimulationJob]) -> List[SimulationMetrics]:
         """Execute ``jobs`` and return their metrics in the same order.
 
-        Non-transportable jobs (hand-built configurations without a
-        :class:`~repro.experiments.configs.ConfigurationSpec`) always run
-        inline in this process and bypass the cache; everything else may be
-        served from the cache or fanned out to worker processes.
+        Configurations are declarative (registry names + parameters), so
+        *every* job -- stock Table 3, variants, and user-registered custom
+        policies alike -- may be served from the cache or fanned out to
+        worker processes.
         """
         results: List[Optional[SimulationMetrics]] = [None] * len(jobs)
         pending: List[int] = []
-        inline_only: List[int] = []
         keys: List[Optional[str]] = [None] * len(jobs)
         for index, job in enumerate(jobs):
-            if not job.transportable:
-                inline_only.append(index)
-                continue
             if self.cache is not None:
                 keys[index] = job.cache_key()
                 cached = self.cache.get(keys[index])
@@ -134,9 +130,6 @@ class ParallelRunner:
                     results[index] = cached
                     continue
             pending.append(index)
-
-        for index in inline_only:
-            results[index] = SimulationMetrics.from_dict(execute_job(jobs[index]))
 
         if pending:
             if self.max_workers == 1 or len(pending) == 1:

@@ -1,8 +1,8 @@
 """Experiment harness: the paper's evaluation, end to end.
 
 * :mod:`repro.experiments.configs` -- the five configurations of Table 3
-  (OP, one-cluster, OB, RHOP, VC) as composable factories of compile-time
-  pass + run-time policy.
+  (OP, one-cluster, OB, RHOP, VC) as declarative specs naming their
+  compile-time pass and run-time policy in the scenario registries.
 * :mod:`repro.experiments.runner` -- runs a benchmark (all of its PinPoints
   phases) under one configuration and aggregates weighted metrics.
 * :mod:`repro.experiments.figure5` -- 2-cluster slowdown vs OP (Figure 5).
@@ -20,6 +20,7 @@ from repro.experiments.configs import (
     TABLE3_CONFIGURATIONS,
     make_configuration,
     table3_configurations,
+    vc_variant,
 )
 from repro.experiments.runner import (
     BenchmarkResult,
@@ -44,6 +45,7 @@ __all__ = [
     "TABLE3_CONFIGURATIONS",
     "make_configuration",
     "table3_configurations",
+    "vc_variant",
     "ExperimentRunner",
     "ExperimentSettings",
     "BenchmarkResult",

@@ -81,11 +81,16 @@ class AblationResult:
         return [p for p in self.points if p.value == value]
 
 
-def _aggregate(
+def aggregate_suite(
     suite: Dict[str, Dict[str, BenchmarkResult]],
     benchmarks: Sequence[str],
     configuration_name: str,
 ) -> Dict[str, float]:
+    """Sum one configuration's weighted cycles/copies/stalls over ``benchmarks``.
+
+    Shared by the legacy sweep drivers here and the scenario ``sweep``
+    report kind, so both aggregate sweep points identically.
+    """
     cycles = copies = stalls = 0.0
     for name in benchmarks:
         result = suite[name][configuration_name]
@@ -120,7 +125,7 @@ def _run_point(
     baseline_cycles: Optional[float] = None
     aggregates = {}
     for configuration in configurations:
-        aggregates[configuration.name] = _aggregate(suite, benchmarks, configuration.name)
+        aggregates[configuration.name] = aggregate_suite(suite, benchmarks, configuration.name)
         if configuration.name == "OP":
             baseline_cycles = aggregates[configuration.name]["cycles"]
     for configuration in configurations:

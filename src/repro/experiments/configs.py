@@ -1,4 +1,4 @@
-"""The evaluated steering configurations (Table 3).
+"""The evaluated steering configurations (Table 3), as declarative specs.
 
 ====================  =========================================================
 Configuration         Description (Table 3)
@@ -12,177 +12,258 @@ Configuration         Description (Table 3)
 ``VC``                The paper's hybrid steering based on virtual clustering.
 ====================  =========================================================
 
-A :class:`SteeringConfiguration` couples the compile-time pass (if any) with
-the run-time policy so the harness can treat all five uniformly: annotate the
-program, build the policy, simulate.
+A :class:`SteeringConfiguration` is pure data: the *names* of its run-time
+policy and compile-time pass in the scenario registries
+(:mod:`repro.scenarios.registry`) plus their parameter dictionaries.  It
+holds no callables, so every configuration -- including user-defined ones
+built from custom registered policies -- is picklable, hashable, losslessly
+JSON-serializable, and therefore cacheable and process-parallel in the
+experiment engine.  The configuration *is* its own engine-facing identity;
+there is no separate spec type and no inline-only fallback path.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass, fields, replace
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Tuple, Union
 
-from repro.partition.base import RegionPartitioner
-from repro.partition.ob_partitioner import OperationBasedPartitioner
-from repro.partition.rhop_partitioner import RhopPartitioner
-from repro.partition.vc_partitioner import VirtualClusterPartitioner
-from repro.steering.base import SteeringPolicy
-from repro.steering.occupancy import OccupancyAwareSteering
-from repro.steering.one_cluster import OneClusterSteering
-from repro.steering.static_follow import StaticAssignmentSteering
-from repro.steering.virtual_cluster import VirtualClusterSteering
+from repro.scenarios.registry import build_partitioner, build_policy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids eager leaf imports
+    from repro.partition.base import RegionPartitioner
+    from repro.steering.base import SteeringPolicy
+
+#: Parameter dictionaries travel as sorted ``(name, value)`` tuples inside the
+#: frozen dataclass (hashable) and as plain dicts at the API and JSON surface.
+Params = Tuple[Tuple[str, object], ...]
 
 
-@dataclass(frozen=True)
-class ConfigurationSpec:
-    """Picklable identity of a :class:`SteeringConfiguration`.
+def _freeze_value(value: object) -> object:
+    """A hashable form of one parameter value (lists become tuples, deeply).
 
-    The parallel experiment engine ships jobs to worker processes and keys
-    its on-disk result cache by the *content* of a configuration, but a
-    :class:`SteeringConfiguration` holds factory callables (lambdas) that can
-    be neither pickled nor hashed stably.  A spec captures the information
-    needed to rebuild the configuration from the Table 3 registry instead:
-
-    Parameters
-    ----------
-    base:
-        Name of the Table 3 configuration this one is derived from.
-    display_name:
-        Name used in result tables (``"VC(2->4)"`` for the Figure 7
-        variants); equals ``base`` for the stock configurations.
-    num_virtual_clusters:
-        Virtual-cluster override of the VC variants, or ``None`` to use the
-        experiment settings' value.
+    Values are restricted to JSON scalars and (nested) lists so the
+    guarantee that every configuration is hashable holds by construction --
+    a dict-valued parameter would otherwise only fail much later, at
+    ``hash()`` time inside the engine.
     """
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze_value(item) for item in value)
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    raise TypeError(
+        f"unsupported parameter value {value!r} ({type(value).__name__}); "
+        "parameter values must be JSON scalars or lists of them"
+    )
 
-    base: str
-    display_name: str
-    num_virtual_clusters: Optional[int] = None
 
-    #: Engine hint: specs built from the registry may be pickled to worker
-    #: processes and hashed into cache keys.
-    transportable = True
+def _thaw_value(value: object) -> object:
+    """Invert :func:`_freeze_value` (tuples back to lists, deeply)."""
+    if isinstance(value, tuple):
+        return [_thaw_value(item) for item in value]
+    return value
 
-    def resolve(self) -> "SteeringConfiguration":
-        """Rebuild the :class:`SteeringConfiguration` this spec describes."""
-        base = make_configuration(self.base)
-        if self.num_virtual_clusters is None and self.display_name == base.name:
-            return base
-        return _derive_variant(base, self.display_name, self.num_virtual_clusters)
 
-    def cache_identity(self) -> Dict[str, object]:
-        """The part of the spec that affects simulation results.
+def freeze_params(params: Union[Mapping[str, object], Params, None]) -> Params:
+    """Normalise a parameter mapping to a sorted, hashable tuple of pairs.
 
-        ``display_name`` is presentation only: ``VC(2->4)`` and a plain VC
-        run with the same virtual-cluster count simulate identically, so the
-        cache must not distinguish them.
-        """
-        return {"base": self.base, "num_virtual_clusters": self.num_virtual_clusters}
+    Accepts a dict, an (already frozen) tuple of pairs, or ``None``.  List
+    values (e.g. from JSON) are converted to tuples -- recursively -- so the
+    result is fully hashable and round-trips through
+    ``to_dict``/``from_dict`` losslessly.
+    """
+    if params is None:
+        return ()
+    items = params.items() if isinstance(params, Mapping) else params
+    frozen = []
+    for name, value in items:
+        if not isinstance(name, str):
+            raise TypeError(f"parameter names must be strings, got {name!r}")
+        frozen.append((name, _freeze_value(value)))
+    return tuple(sorted(frozen))
+
+
+def thaw_params(params: Params) -> Dict[str, object]:
+    """The dict form of a frozen parameter tuple (tuples back to lists)."""
+    return {name: _thaw_value(value) for name, value in params}
 
 
 @dataclass(frozen=True)
 class SteeringConfiguration:
-    """One evaluated configuration: a compile-time pass plus a run-time policy.
+    """One evaluated configuration: registry names plus parameters.
 
     Parameters
     ----------
     name:
-        Configuration name used in tables (``"OP"``, ``"VC"``...).
+        Configuration name used in result tables (``"OP"``, ``"VC"``,
+        ``"VC(2->4)"``...).  Presentation only: it never enters the engine's
+        cache keys, so two differently named but otherwise identical
+        configurations share cached results.
+    policy:
+        Name of the run-time policy in the policy registry.
+    policy_params:
+        Extra keyword arguments for the policy builder.
+    partitioner:
+        Name of the compile-time pass in the partitioner registry, or
+        ``None`` for hardware-only configurations.
+    partitioner_params:
+        Extra keyword arguments for the partitioner builder.
     description:
-        Table 3 description.
-    partitioner_factory:
-        Callable ``(num_clusters, num_virtual_clusters, region_size) ->``
-        compile-time pass, or ``None`` for hardware-only configurations.
-    policy_factory:
-        Callable ``(num_clusters, num_virtual_clusters) ->`` run-time policy.
-    spec:
-        Transportable identity used by the parallel engine; filled in for the
-        Table 3 registry and the :func:`vc_variant` derivatives.
+        Table 3 description (presentation only).
+    num_virtual_clusters:
+        Pinned virtual-cluster count of the Figure 7 / ablation variants, or
+        ``None`` to follow the experiment settings' value.
     uses_virtual_clusters:
-        Whether the configuration's behaviour depends on the virtual-cluster
-        count (only VC and its variants).  The engine keys cached results by
-        the knobs a configuration actually consumes, so e.g. the OP baseline
-        of a virtual-cluster sweep is simulated once, not once per count.
+        Whether behaviour depends on the virtual-cluster count (only VC and
+        its variants).  The engine keys cached results by the knobs a
+        configuration actually consumes, so e.g. the OP baseline of a
+        virtual-cluster sweep is simulated once, not once per count.
     """
 
     name: str
-    description: str
-    partitioner_factory: Optional[Callable[[int, int, int], RegionPartitioner]]
-    policy_factory: Callable[[int, int], SteeringPolicy]
-    spec: Optional[ConfigurationSpec] = None
+    policy: str
+    policy_params: Params = ()
+    partitioner: Optional[str] = None
+    partitioner_params: Params = ()
+    description: str = ""
+    num_virtual_clusters: Optional[int] = None
     uses_virtual_clusters: bool = False
 
+    def __post_init__(self) -> None:
+        # Normalise dict-valued parameters so direct construction with plain
+        # dicts stays hashable and equal to the frozen form.
+        object.__setattr__(self, "policy_params", freeze_params(self.policy_params))
+        object.__setattr__(self, "partitioner_params", freeze_params(self.partitioner_params))
+
+    # -- construction ------------------------------------------------------------
     @property
     def uses_compiler(self) -> bool:
         """True for software-only and hybrid configurations."""
-        return self.partitioner_factory is not None
+        return self.partitioner is not None
+
+    def effective_virtual_clusters(self, num_virtual_clusters: int) -> int:
+        """The configuration's pinned count, or the settings' value."""
+        if self.num_virtual_clusters is not None:
+            return self.num_virtual_clusters
+        return num_virtual_clusters
 
     def make_partitioner(
         self, num_clusters: int, num_virtual_clusters: int, region_size: int = 128
-    ) -> Optional[RegionPartitioner]:
+    ) -> Optional["RegionPartitioner"]:
         """Instantiate the compile-time pass (or ``None``)."""
-        if self.partitioner_factory is None:
+        if self.partitioner is None:
             return None
-        return self.partitioner_factory(num_clusters, num_virtual_clusters, region_size)
+        return build_partitioner(
+            self.partitioner,
+            dict(self.partitioner_params),
+            num_clusters,
+            self.effective_virtual_clusters(num_virtual_clusters),
+            region_size,
+        )
 
-    def make_policy(self, num_clusters: int, num_virtual_clusters: int) -> SteeringPolicy:
+    def make_policy(self, num_clusters: int, num_virtual_clusters: int) -> "SteeringPolicy":
         """Instantiate the run-time policy."""
-        return self.policy_factory(num_clusters, num_virtual_clusters)
+        return build_policy(
+            self.policy,
+            dict(self.policy_params),
+            num_clusters,
+            self.effective_virtual_clusters(num_virtual_clusters),
+        )
+
+    # -- identity ----------------------------------------------------------------
+    def cache_identity(self) -> Dict[str, object]:
+        """The part of the configuration that affects simulation results.
+
+        ``name`` and ``description`` are presentation only -- ``VC(2->4)``
+        and a plain VC run with the same virtual-cluster count simulate
+        identically, so the cache must not distinguish them.  The pinned
+        virtual-cluster count is excluded too: the engine folds it into the
+        *effective* count it keys (see
+        :meth:`repro.engine.job.SimulationJob.cache_key`).
+        """
+        return {
+            "policy": self.policy,
+            "policy_params": thaw_params(self.policy_params),
+            "partitioner": self.partitioner,
+            "partitioner_params": thaw_params(self.partitioner_params),
+        }
+
+    # -- serialization -----------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """Lossless JSON-compatible dump (``from_dict`` round-trips exactly)."""
+        return {
+            "name": self.name,
+            "policy": self.policy,
+            "policy_params": thaw_params(self.policy_params),
+            "partitioner": self.partitioner,
+            "partitioner_params": thaw_params(self.partitioner_params),
+            "description": self.description,
+            "num_virtual_clusters": self.num_virtual_clusters,
+            "uses_virtual_clusters": self.uses_virtual_clusters,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Union[str, Mapping[str, object]]) -> "SteeringConfiguration":
+        """Rebuild a configuration from :meth:`to_dict` output.
+
+        A bare string is shorthand for the Table 3 configuration of that
+        name, so scenario files can say ``"configurations": ["OP", "VC"]``.
+        """
+        if isinstance(data, str):
+            return make_configuration(data)
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown configuration fields {sorted(unknown)}; expected a subset "
+                f"of {sorted(known)}"
+            )
+        if "name" not in data or "policy" not in data:
+            raise ValueError("a configuration needs at least 'name' and 'policy'")
+        return cls(**dict(data))
 
 
 def _op_config() -> SteeringConfiguration:
     return SteeringConfiguration(
         name="OP",
+        policy="OP",
         description="Occupancy-aware steering [15]",
-        partitioner_factory=None,
-        policy_factory=lambda clusters, vcs: OccupancyAwareSteering(),
-        spec=ConfigurationSpec(base="OP", display_name="OP"),
     )
 
 
 def _one_cluster_config() -> SteeringConfiguration:
     return SteeringConfiguration(
         name="one-cluster",
+        policy="one-cluster",
         description="Every instruction goes to one cluster",
-        partitioner_factory=None,
-        policy_factory=lambda clusters, vcs: OneClusterSteering(),
-        spec=ConfigurationSpec(base="one-cluster", display_name="one-cluster"),
     )
 
 
 def _ob_config() -> SteeringConfiguration:
     return SteeringConfiguration(
         name="OB",
+        policy="static",
+        policy_params={"name": "OB"},
+        partitioner="OB",
         description="Static-placement dynamic-issue operation-based steering [19]",
-        partitioner_factory=lambda clusters, vcs, region: OperationBasedPartitioner(
-            num_clusters=clusters, region_size=region
-        ),
-        policy_factory=lambda clusters, vcs: StaticAssignmentSteering(name="OB"),
-        spec=ConfigurationSpec(base="OB", display_name="OB"),
     )
 
 
 def _rhop_config() -> SteeringConfiguration:
     return SteeringConfiguration(
         name="RHOP",
+        policy="static",
+        policy_params={"name": "RHOP"},
+        partitioner="RHOP",
         description="Region-based hierarchical operation partition [8]",
-        partitioner_factory=lambda clusters, vcs, region: RhopPartitioner(
-            num_clusters=clusters, region_size=region
-        ),
-        policy_factory=lambda clusters, vcs: StaticAssignmentSteering(name="RHOP"),
-        spec=ConfigurationSpec(base="RHOP", display_name="RHOP"),
     )
 
 
 def _vc_config() -> SteeringConfiguration:
     return SteeringConfiguration(
         name="VC",
+        policy="VC",
+        partitioner="VC",
         description="Hybrid steering based on virtual clustering (this paper)",
-        partitioner_factory=lambda clusters, vcs, region: VirtualClusterPartitioner(
-            num_virtual_clusters=vcs, region_size=region
-        ),
-        policy_factory=lambda clusters, vcs: VirtualClusterSteering(num_virtual_clusters=vcs),
-        spec=ConfigurationSpec(base="VC", display_name="VC"),
         uses_virtual_clusters=True,
     )
 
@@ -210,91 +291,20 @@ def make_configuration(name: str) -> SteeringConfiguration:
         ) from exc
 
 
-def _derive_variant(
-    base: SteeringConfiguration, display_name: str, num_virtual_clusters: Optional[int]
-) -> SteeringConfiguration:
-    """Derive a configuration from ``base`` with a pinned virtual-cluster count."""
-    vcs_override = num_virtual_clusters
-    partitioner_factory = None
-    if base.partitioner_factory is not None:
-        partitioner_factory = lambda clusters, vcs, region: base.partitioner_factory(  # noqa: E731
-            clusters, vcs_override if vcs_override is not None else vcs, region
-        )
-    return SteeringConfiguration(
-        name=display_name,
-        description=(
-            f"{base.description} ({vcs_override} virtual clusters)"
-            if vcs_override is not None
-            else base.description
-        ),
-        partitioner_factory=partitioner_factory,
-        policy_factory=lambda clusters, vcs: base.policy_factory(
-            clusters, vcs_override if vcs_override is not None else vcs
-        ),
-        spec=ConfigurationSpec(
-            base=base.name, display_name=display_name, num_virtual_clusters=vcs_override
-        ),
-        uses_virtual_clusters=base.uses_virtual_clusters,
-    )
-
-
 def vc_variant(display_name: str, num_virtual_clusters: int) -> SteeringConfiguration:
     """A VC configuration with an explicit virtual-cluster count and display name.
 
     Used by the Figure 7 scalability study (``VC(4->4)``, ``VC(2->4)``) and
-    the virtual-cluster ablation sweep.  The returned configuration carries a
-    :class:`ConfigurationSpec`, so it can be dispatched to engine worker
-    processes and cached on disk like the stock Table 3 configurations.
+    the virtual-cluster ablation sweep.  Being plain data, the variant is as
+    cacheable and process-parallel as the stock Table 3 configurations.
     """
-    return _derive_variant(TABLE3_CONFIGURATIONS["VC"], display_name, num_virtual_clusters)
-
-
-@dataclass(frozen=True)
-class InlineConfigurationSpec:
-    """Fallback identity of a hand-built :class:`SteeringConfiguration`.
-
-    Hand-built configurations (``spec=None``) hold arbitrary callables, so
-    they can be neither pickled to worker processes nor hashed into stable
-    cache keys -- but they *can* still run inline in the calling process,
-    exactly as the pre-engine serial runner executed them.  The engine
-    detects ``transportable = False`` and runs such jobs in-process with
-    caching disabled.
-    """
-
-    configuration: SteeringConfiguration
-
-    #: Engine hint: never ship this job to a worker or cache its result.
-    transportable = False
-
-    def resolve(self) -> SteeringConfiguration:
-        """The wrapped configuration itself (no registry lookup)."""
-        return self.configuration
-
-    @property
-    def display_name(self) -> str:
-        """Name used in result tables."""
-        return self.configuration.name
-
-    def cache_identity(self) -> Dict[str, object]:
-        raise ValueError(
-            f"configuration {self.configuration.name!r} has no ConfigurationSpec and "
-            "cannot be cached; build it via TABLE3_CONFIGURATIONS or vc_variant() "
-            "(or attach a spec) to enable caching and process-parallel execution"
-        )
-
-
-def spec_for(configuration: SteeringConfiguration):
-    """The engine-facing identity of ``configuration``.
-
-    Returns the configuration's transportable :class:`ConfigurationSpec` when
-    it has one (the Table 3 registry and :func:`vc_variant` attach specs), or
-    an :class:`InlineConfigurationSpec` fallback for hand-built
-    configurations -- those still execute, but only inline in the calling
-    process and without result caching.
-    """
-    if configuration.spec is not None:
-        return configuration.spec
-    return InlineConfigurationSpec(configuration)
+    base = TABLE3_CONFIGURATIONS["VC"]
+    return replace(
+        base,
+        name=display_name,
+        description=f"{base.description} ({num_virtual_clusters} virtual clusters)",
+        num_virtual_clusters=num_virtual_clusters,
+    )
 
 
 def table3_configurations(include_baseline: bool = True) -> List[SteeringConfiguration]:

@@ -39,6 +39,8 @@ class Figure5Result:
     int_benchmarks: List[str] = field(default_factory=list)
     #: Benchmarks in the floating-point suite (panel b).
     fp_benchmarks: List[str] = field(default_factory=list)
+    #: Plotted (non-baseline) configuration names, in table-column order.
+    plotted: List[str] = field(default_factory=lambda: list(FIGURE5_CONFIGURATIONS))
 
     def average(self, configuration: str, suite: str = "all") -> float:
         """Average slowdown of ``configuration`` over a suite (panel c)."""
@@ -56,7 +58,7 @@ class Figure5Result:
     def averages_table(self) -> List[Dict[str, object]]:
         """Panel (c): INT / FP / CPU2000 average slowdowns of each configuration."""
         rows = []
-        for configuration in FIGURE5_CONFIGURATIONS:
+        for configuration in self.plotted:
             rows.append(
                 {
                     "configuration": configuration,
@@ -73,7 +75,7 @@ class Figure5Result:
         rows = []
         for name in names:
             row: Dict[str, object] = {"benchmark": name}
-            for configuration in FIGURE5_CONFIGURATIONS:
+            for configuration in self.plotted:
                 row[f"{configuration} (%)"] = round(self.slowdowns[name][configuration], 2)
             rows.append(row)
         return rows
@@ -83,6 +85,7 @@ def run_figure5(
     settings: Optional[ExperimentSettings] = None,
     benchmarks: Optional[Sequence[str]] = None,
     runner: Optional[ExperimentRunner] = None,
+    configurations: Optional[Sequence[SteeringConfiguration]] = None,
 ) -> Figure5Result:
     """Reproduce Figure 5 on the 2-cluster machine.
 
@@ -94,26 +97,34 @@ def run_figure5(
         Trace names to run; the full SPEC CPU2000 set when omitted.
     runner:
         Optionally reuse an existing runner (and its trace cache).
+    configurations:
+        Baseline first, then the plotted configurations; the paper's Table 3
+        line-up (OP baseline) when omitted.
     """
     settings = settings or ExperimentSettings(num_clusters=2, num_virtual_clusters=2)
     if settings.num_clusters != 2:
         raise ValueError("Figure 5 is defined for the 2-cluster machine")
     runner = runner or ExperimentRunner(settings)
     names = list(benchmarks) if benchmarks is not None else all_trace_names("all")
-    configurations: List[SteeringConfiguration] = [TABLE3_CONFIGURATIONS["OP"]] + [
-        TABLE3_CONFIGURATIONS[name] for name in FIGURE5_CONFIGURATIONS
-    ]
-    raw = runner.run_suite(names, configurations)
-    result = Figure5Result(raw=raw)
+    if configurations is None:
+        configurations = [TABLE3_CONFIGURATIONS["OP"]] + [
+            TABLE3_CONFIGURATIONS[name] for name in FIGURE5_CONFIGURATIONS
+        ]
+    if len(configurations) < 2:
+        raise ValueError("Figure 5 needs a baseline plus at least one configuration")
+    baseline_name = configurations[0].name
+    plotted = [configuration.name for configuration in configurations[1:]]
+    raw = runner.run_suite(names, list(configurations))
+    result = Figure5Result(raw=raw, plotted=plotted)
     for name in names:
         suite = profile_for(name).suite
         if suite == "int":
             result.int_benchmarks.append(name)
         else:
             result.fp_benchmarks.append(name)
-        baseline = raw[name]["OP"].cycles
+        baseline = raw[name][baseline_name].cycles
         result.slowdowns[name] = {
             configuration: slowdown_percent(raw[name][configuration].cycles, baseline)
-            for configuration in FIGURE5_CONFIGURATIONS
+            for configuration in plotted
         }
     return result

@@ -21,11 +21,11 @@ The qualitative claims the reproduction targets:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.experiments.configs import TABLE3_CONFIGURATIONS
+from repro.experiments.configs import TABLE3_CONFIGURATIONS, SteeringConfiguration
 from repro.experiments.runner import (
     ExperimentRunner,
     ExperimentSettings,
@@ -54,6 +54,8 @@ class Figure6Result:
     """All scatter points of Figure 6, grouped by comparison scheme."""
 
     points: List[Figure6Point] = field(default_factory=list)
+    #: Comparison scheme names, in panel order.
+    comparisons: List[str] = field(default_factory=lambda: list(FIGURE6_COMPARISONS))
 
     def for_comparison(self, comparison: str) -> List[Figure6Point]:
         """Points of one panel column (``"OB"``, ``"RHOP"`` or ``"OP"``)."""
@@ -90,25 +92,35 @@ def run_figure6(
     settings: Optional[ExperimentSettings] = None,
     benchmarks: Optional[Sequence[str]] = None,
     runner: Optional[ExperimentRunner] = None,
+    configurations: Optional[Sequence[SteeringConfiguration]] = None,
 ) -> Figure6Result:
-    """Reproduce the Figure 6 scatter data on the 2-cluster machine."""
+    """Reproduce the Figure 6 scatter data on the 2-cluster machine.
+
+    ``configurations`` lists the subject scheme first (VC in the paper), then
+    the comparison schemes, one panel column each.
+    """
     settings = settings or ExperimentSettings(num_clusters=2, num_virtual_clusters=2)
     runner = runner or ExperimentRunner(settings)
     names = list(benchmarks) if benchmarks is not None else all_trace_names("all")
-    configurations = [TABLE3_CONFIGURATIONS[name] for name in ("VC", "OB", "RHOP", "OP")]
-    result = Figure6Result()
+    if configurations is None:
+        configurations = [TABLE3_CONFIGURATIONS[name] for name in ("VC", "OB", "RHOP", "OP")]
+    if len(configurations) < 2:
+        raise ValueError("Figure 6 needs a subject plus at least one comparison scheme")
+    subject = configurations[0].name
+    comparisons = [configuration.name for configuration in configurations[1:]]
+    result = Figure6Result(comparisons=comparisons)
     # Phase-level scatter points, as in the paper ("every point in the figure
     # refers to a trace gathered by the PinPoints tool").  The whole
     # benchmark x configuration x phase matrix is one engine batch, so a
     # parallel runner simulates every scatter point concurrently.
-    matrix = runner.run_phase_matrix(names, configurations)
+    matrix = runner.run_phase_matrix(names, list(configurations))
     for name in names:
         profile = profile_for(name)
         points = runner.simulation_points(profile)
         per_config = matrix[name]
         for index, point in enumerate(points):
-            vc = per_config["VC"][index].metrics
-            for comparison in FIGURE6_COMPARISONS:
+            vc = per_config[subject][index].metrics
+            for comparison in comparisons:
                 other = per_config[comparison][index].metrics
                 result.points.append(
                     Figure6Point(

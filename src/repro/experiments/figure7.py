@@ -44,6 +44,8 @@ class Figure7Result:
     raw: Dict[str, Dict[str, BenchmarkResult]] = field(default_factory=dict)
     int_benchmarks: List[str] = field(default_factory=list)
     fp_benchmarks: List[str] = field(default_factory=list)
+    #: Plotted (non-baseline) configuration names, in table-column order.
+    plotted: List[str] = field(default_factory=lambda: list(FIGURE7_CONFIGURATIONS))
 
     def average(self, configuration: str, suite: str = "all") -> float:
         """Average slowdown of one configuration over a suite (panel c)."""
@@ -61,7 +63,7 @@ class Figure7Result:
     def averages_table(self) -> List[Dict[str, object]]:
         """Panel (c): average slowdowns of each configuration."""
         rows = []
-        for configuration in FIGURE7_CONFIGURATIONS:
+        for configuration in self.plotted:
             rows.append(
                 {
                     "configuration": configuration,
@@ -74,6 +76,8 @@ class Figure7Result:
 
     def copy_overhead_4to4_vs_2to4(self) -> float:
         """Extra copies of VC(4->4) relative to VC(2->4), in percent (Section 5.4)."""
+        if "VC(4->4)" not in self.plotted or "VC(2->4)" not in self.plotted:
+            return 0.0
         total_4 = sum(per_config["VC(4->4)"] for per_config in self.copies.values())
         total_2 = sum(per_config["VC(2->4)"] for per_config in self.copies.values())
         if total_2 <= 0:
@@ -85,9 +89,9 @@ def _vc_variant(name: str, num_virtual_clusters: int) -> SteeringConfiguration:
     """A VC configuration with an explicit virtual-cluster count and display name.
 
     Thin alias of :func:`repro.experiments.configs.vc_variant`, kept for
-    backwards compatibility; the shared helper attaches the
-    :class:`~repro.experiments.configs.ConfigurationSpec` the parallel engine
-    needs to ship the variant to worker processes.
+    backwards compatibility; the shared helper pins the virtual-cluster count
+    on the declarative configuration so the variant is cacheable and
+    process-parallel like the stock Table 3 configurations.
     """
     return vc_variant(name, num_virtual_clusters)
 
@@ -96,35 +100,45 @@ def run_figure7(
     settings: Optional[ExperimentSettings] = None,
     benchmarks: Optional[Sequence[str]] = None,
     runner: Optional[ExperimentRunner] = None,
+    configurations: Optional[Sequence[SteeringConfiguration]] = None,
 ) -> Figure7Result:
-    """Reproduce Figure 7 on the 4-cluster machine."""
+    """Reproduce Figure 7 on the 4-cluster machine.
+
+    ``configurations`` lists the baseline first, then the plotted
+    configurations; the paper's line-up (OP, OB, RHOP, VC(4->4), VC(2->4))
+    when omitted.
+    """
     settings = settings or ExperimentSettings(num_clusters=4, num_virtual_clusters=4)
     if settings.num_clusters != 4:
         raise ValueError("Figure 7 is defined for the 4-cluster machine")
     runner = runner or ExperimentRunner(settings)
     names = list(benchmarks) if benchmarks is not None else all_trace_names("all")
-    configurations = [
-        TABLE3_CONFIGURATIONS["OP"],
-        TABLE3_CONFIGURATIONS["OB"],
-        TABLE3_CONFIGURATIONS["RHOP"],
-        _vc_variant("VC(4->4)", 4),
-        _vc_variant("VC(2->4)", 2),
-    ]
-    raw = runner.run_suite(names, configurations)
-    result = Figure7Result(raw=raw)
+    if configurations is None:
+        configurations = [
+            TABLE3_CONFIGURATIONS["OP"],
+            TABLE3_CONFIGURATIONS["OB"],
+            TABLE3_CONFIGURATIONS["RHOP"],
+            _vc_variant("VC(4->4)", 4),
+            _vc_variant("VC(2->4)", 2),
+        ]
+    if len(configurations) < 2:
+        raise ValueError("Figure 7 needs a baseline plus at least one configuration")
+    baseline_name = configurations[0].name
+    plotted = [configuration.name for configuration in configurations[1:]]
+    raw = runner.run_suite(names, list(configurations))
+    result = Figure7Result(raw=raw, plotted=plotted)
     for name in names:
         suite = profile_for(name).suite
         if suite == "int":
             result.int_benchmarks.append(name)
         else:
             result.fp_benchmarks.append(name)
-        baseline = raw[name]["OP"].cycles
+        baseline = raw[name][baseline_name].cycles
         result.slowdowns[name] = {
             configuration: slowdown_percent(raw[name][configuration].cycles, baseline)
-            for configuration in FIGURE7_CONFIGURATIONS
+            for configuration in plotted
         }
         result.copies[name] = {
-            configuration: raw[name][configuration].copies
-            for configuration in FIGURE7_CONFIGURATIONS
+            configuration: raw[name][configuration].copies for configuration in plotted
         }
     return result

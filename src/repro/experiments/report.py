@@ -7,7 +7,7 @@ Markdown) without pulling in any plotting dependency.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, List, Sequence
 
 
 def _stringify(value: object) -> str:

@@ -25,7 +25,7 @@ from repro.cluster.metrics import SimulationMetrics
 from repro.engine.cache import ResultCache
 from repro.engine.job import SimulationJob
 from repro.engine.parallel import ParallelRunner
-from repro.experiments.configs import SteeringConfiguration, spec_for
+from repro.experiments.configs import SteeringConfiguration
 from repro.uops.registers import DEFAULT_REGISTER_SPACE, RegisterSpace
 from repro.workloads.generator import BenchmarkProfile
 from repro.workloads.pinpoints import SimulationPoint, select_simulation_points, weighted_average
@@ -156,7 +156,7 @@ class ExperimentRunner:
         return SimulationJob(
             profile=profile,
             phase=point.phase,
-            config_spec=spec_for(configuration),
+            configuration=configuration,
             trace_length=settings.trace_length,
             region_size=settings.region_size,
             num_clusters=settings.num_clusters,

@@ -13,7 +13,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.cluster.config import ClusterConfig
 from repro.complexity.model import complexity_table
-from repro.experiments.configs import TABLE3_CONFIGURATIONS
+from repro.experiments.configs import SteeringConfiguration, TABLE3_CONFIGURATIONS
 from repro.steering.base import SteeringPolicy
 
 
@@ -21,6 +21,7 @@ def run_table1(
     config: Optional[ClusterConfig] = None,
     num_virtual_clusters: int = 2,
     extra_policies: Optional[Sequence[SteeringPolicy]] = None,
+    configurations: Optional[Sequence[SteeringConfiguration]] = None,
 ) -> List[Dict[str, object]]:
     """Reproduce Table 1 (extended to all evaluated configurations).
 
@@ -32,11 +33,16 @@ def run_table1(
         Mapping-table size of the VC policy.
     extra_policies:
         Additional policies (e.g. the ablation baselines) to include.
+    configurations:
+        Configurations to compare; Table 3 when omitted.
     """
     config = config or ClusterConfig(num_clusters=2)
+    if configurations is None:
+        configurations = [
+            TABLE3_CONFIGURATIONS[name] for name in ("OP", "one-cluster", "OB", "RHOP", "VC")
+        ]
     policies: List[SteeringPolicy] = []
-    for name in ("OP", "one-cluster", "OB", "RHOP", "VC"):
-        configuration = TABLE3_CONFIGURATIONS[name]
+    for configuration in configurations:
         policies.append(configuration.make_policy(config.num_clusters, num_virtual_clusters))
     if extra_policies:
         policies.extend(extra_policies)

@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import List
 
 from repro.analysis.completion_time import CompletionTimeEstimator
+from repro.scenarios.registry import register_partitioner
 from repro.partition.base import RegionPartitioner
 from repro.program.ddg import DataDependenceGraph
 
@@ -84,3 +85,11 @@ class OperationBasedPartitioner(RegionPartitioner):
             estimator.assign(node, best_cluster)
             assignment[node] = best_cluster
         return assignment
+
+
+@register_partitioner("OB")
+def _build_ob(
+    num_clusters: int, num_virtual_clusters: int, region_size: int, **params
+) -> OperationBasedPartitioner:
+    """Registry builder for the OB/SPDI pass (physical-cluster targets)."""
+    return OperationBasedPartitioner(num_clusters=num_clusters, region_size=region_size, **params)

@@ -25,6 +25,7 @@ from __future__ import annotations
 from typing import List
 
 from repro.analysis.slack import compute_slack
+from repro.scenarios.registry import register_partitioner
 from repro.partition.base import RegionPartitioner
 from repro.partition.multilevel import MultilevelPartitioner, PartitionObjective
 from repro.program.ddg import DataDependenceGraph
@@ -82,3 +83,11 @@ class RhopPartitioner(RegionPartitioner):
         node_groups = [inst.block for inst in ddg.instructions]
         partitioner = MultilevelPartitioner(self.num_targets, objective=self.objective)
         return partitioner.partition(node_weights, edge_weights, node_groups=node_groups)
+
+
+@register_partitioner("RHOP")
+def _build_rhop(
+    num_clusters: int, num_virtual_clusters: int, region_size: int, **params
+) -> RhopPartitioner:
+    """Registry builder for the RHOP pass (physical-cluster targets)."""
+    return RhopPartitioner(num_clusters=num_clusters, region_size=region_size, **params)

@@ -27,6 +27,7 @@ from typing import List, Sequence
 
 from repro.analysis.completion_time import CompletionTimeEstimator
 from repro.analysis.criticality import compute_criticality
+from repro.scenarios.registry import register_partitioner
 from repro.partition.base import PartitionReport, RegionPartitioner
 from repro.partition.chains import identify_chains
 from repro.program.ddg import DataDependenceGraph
@@ -115,3 +116,14 @@ class VirtualClusterPartitioner(RegionPartitioner):
             # The hybrid scheme never binds instructions to physical clusters
             # at compile time; make sure stale annotations cannot leak through.
             inst.static_cluster = None
+
+
+@register_partitioner("VC")
+def _build_vc(
+    num_clusters: int, num_virtual_clusters: int, region_size: int, **params
+) -> VirtualClusterPartitioner:
+    """Registry builder for the paper's virtual-cluster pass: it targets
+    *virtual* clusters, so it takes the virtual-cluster count, not the
+    physical one."""
+    params.setdefault("num_virtual_clusters", num_virtual_clusters)
+    return VirtualClusterPartitioner(region_size=region_size, **params)

@@ -10,8 +10,8 @@ The CFG serves two purposes in the reproduction:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 import networkx as nx
 

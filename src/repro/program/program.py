@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+from typing import Dict, Iterator, Sequence
 
 from repro.program.basic_block import BasicBlock
 from repro.program.cfg import ControlFlowGraph

@@ -1,0 +1,364 @@
+"""Serializable scenario specifications.
+
+A :class:`ScenarioSpec` is the declarative description of one experiment:
+the machine (a registered preset plus overrides), the workloads, the steering
+configurations, the simulation knobs, and optional sweep axes that are
+grid-expanded into the engine's job matrix.  Specs are frozen dataclasses of
+plain data -- picklable, hashable, and losslessly convertible to/from JSON
+(``from_dict(to_dict(spec)) == spec``) -- so an experiment can live in a
+``.json`` file, travel to worker processes, and key the on-disk result cache.
+
+Example scenario file::
+
+    {
+      "name": "my-sweep",
+      "report": "sweep",
+      "machine": {"preset": "table2-2c"},
+      "benchmarks": ["164.gzip-1", "178.galgel"],
+      "configurations": ["OP", "VC"],
+      "trace_length": 2000,
+      "sweep": [{"parameter": "link_latency", "values": [1, 2, 4]}]
+    }
+
+Run it with ``python -m repro run my_sweep.json --jobs 4``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass, fields, replace
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.cluster.config import ClusterConfig
+from repro.experiments.configs import (
+    Params,
+    SteeringConfiguration,
+    freeze_params,
+    thaw_params,
+)
+from repro.experiments.runner import ExperimentSettings
+from repro.scenarios.registry import build_machine
+
+#: ScenarioSpec fields a sweep axis may target directly.
+_SWEEPABLE_SPEC_FIELDS = ("trace_length", "max_phases", "region_size", "num_virtual_clusters")
+
+#: ClusterConfig fields a sweep axis may target (applied as machine overrides).
+_MACHINE_FIELDS = tuple(f.name for f in fields(ClusterConfig))
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A machine: a registered preset name plus field overrides.
+
+    ``resolve()`` builds the :class:`~repro.cluster.config.ClusterConfig` by
+    calling the preset builder with the overrides, so presets stay the single
+    source of truth for Table 2 geometries.
+    """
+
+    preset: str = "table2-2c"
+    overrides: Params = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "overrides", freeze_params(self.overrides))
+
+    def resolve(self) -> ClusterConfig:
+        """The :class:`ClusterConfig` this spec describes."""
+        return build_machine(self.preset, dict(self.overrides))
+
+    def with_overrides(self, **overrides: object) -> "MachineSpec":
+        """A copy with extra overrides folded in (used by sweep expansion)."""
+        merged = dict(self.overrides)
+        merged.update(overrides)
+        return replace(self, overrides=freeze_params(merged))
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"preset": self.preset, "overrides": thaw_params(self.overrides)}
+
+    @classmethod
+    def from_dict(cls, data: Union[str, Mapping[str, object]]) -> "MachineSpec":
+        """Rebuild from :meth:`to_dict` output (a bare string names a preset)."""
+        if isinstance(data, str):
+            return cls(preset=data)
+        unknown = set(data) - {"preset", "overrides"}
+        if unknown:
+            raise ValueError(f"unknown machine fields {sorted(unknown)}")
+        return cls(
+            preset=str(data.get("preset", "table2-2c")),
+            overrides=freeze_params(data.get("overrides")),
+        )
+
+
+@dataclass(frozen=True)
+class SweepAxis:
+    """One swept parameter: a field name and the values to grid over.
+
+    ``parameter`` may be a :class:`ScenarioSpec` simulation knob
+    (``trace_length``, ``max_phases``, ``region_size``,
+    ``num_virtual_clusters``) or any
+    :class:`~repro.cluster.config.ClusterConfig` field (``link_latency``,
+    ``iq_int_size``...).  When one logical parameter drives several machine
+    fields (the issue-queue sweep sets the INT and FP queues together), list
+    them in ``fields`` and ``parameter`` becomes the display name.
+    """
+
+    parameter: str
+    values: Tuple[object, ...]
+    fields: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "values", tuple(self.values))
+        object.__setattr__(self, "fields", tuple(self.fields))
+        if not self.values:
+            raise ValueError(f"sweep axis {self.parameter!r} has no values")
+        for field_name in self.target_fields:
+            if field_name not in _SWEEPABLE_SPEC_FIELDS and field_name not in _MACHINE_FIELDS:
+                raise ValueError(
+                    f"cannot sweep {field_name!r}; expected a simulation knob "
+                    f"{_SWEEPABLE_SPEC_FIELDS} or a ClusterConfig field"
+                )
+
+    @property
+    def target_fields(self) -> Tuple[str, ...]:
+        """The spec/machine fields this axis sets (defaults to ``parameter``)."""
+        return self.fields or (self.parameter,)
+
+    def to_dict(self) -> Dict[str, object]:
+        data: Dict[str, object] = {"parameter": self.parameter, "values": list(self.values)}
+        if self.fields:
+            data["fields"] = list(self.fields)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "SweepAxis":
+        unknown = set(data) - {"parameter", "values", "fields"}
+        if unknown:
+            raise ValueError(f"unknown sweep-axis fields {sorted(unknown)}")
+        return cls(
+            parameter=str(data["parameter"]),
+            values=tuple(data["values"]),
+            fields=tuple(data.get("fields", ())),
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One declaratively described experiment.
+
+    Parameters
+    ----------
+    name:
+        Scenario name (used in titles and the ``scenarios list`` output).
+    report:
+        Report kind interpreting the results (see
+        :data:`repro.scenarios.runner.REPORT_KINDS`): ``"table"``,
+        ``"figure5"``, ``"figure6"``, ``"figure7"``, ``"table1"`` or
+        ``"sweep"``.
+    description:
+        One-line description for listings.
+    machine:
+        Machine preset plus overrides.
+    num_virtual_clusters:
+        Virtual clusters exposed by the ISA (configurations may pin their
+        own count on top).
+    benchmarks:
+        Trace names; empty means the full SPEC CPU2000 suite.
+    configurations:
+        Steering configurations, baseline (or comparison subject) first.
+    trace_length / max_phases / region_size:
+        Simulation knobs, as in
+        :class:`~repro.experiments.runner.ExperimentSettings`.
+    sweep:
+        Sweep axes, grid-expanded by :meth:`expand_sweep` (used by the
+        ``"sweep"`` report kind).
+    """
+
+    name: str
+    report: str = "table"
+    description: str = ""
+    machine: MachineSpec = MachineSpec()
+    num_virtual_clusters: int = 2
+    benchmarks: Tuple[str, ...] = ()
+    configurations: Tuple[SteeringConfiguration, ...] = ()
+    trace_length: int = 2500
+    max_phases: int = 1
+    region_size: int = 128
+    sweep: Tuple[SweepAxis, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "benchmarks", tuple(self.benchmarks))
+        object.__setattr__(self, "configurations", tuple(self.configurations))
+        object.__setattr__(self, "sweep", tuple(self.sweep))
+        names = [configuration.name for configuration in self.configurations]
+        duplicates = {name for name in names if names.count(name) > 1}
+        if duplicates:
+            raise ValueError(f"duplicate configuration names: {sorted(duplicates)}")
+
+    # -- execution-facing views --------------------------------------------------
+    def settings(self) -> ExperimentSettings:
+        """The :class:`ExperimentSettings` this spec describes.
+
+        The machine preset is resolved to a full
+        :class:`~repro.cluster.config.ClusterConfig` and re-expressed as the
+        geometry plus the fields that differ from the Table 2 defaults, which
+        is exactly what the engine keys its cache by.
+        """
+        machine_config = self.machine.resolve()
+        default = ClusterConfig(num_clusters=machine_config.num_clusters)
+        overrides = {
+            f.name: getattr(machine_config, f.name)
+            for f in fields(ClusterConfig)
+            if getattr(machine_config, f.name) != getattr(default, f.name)
+        }
+        return ExperimentSettings(
+            num_clusters=machine_config.num_clusters,
+            num_virtual_clusters=self.num_virtual_clusters,
+            trace_length=self.trace_length,
+            max_phases=self.max_phases,
+            region_size=self.region_size,
+            config_overrides=overrides,
+        )
+
+    def validate(self) -> None:
+        """Check every registry name the spec refers to, before running.
+
+        A typo'd policy, partitioner, machine preset, report kind or
+        benchmark name raises here (``KeyError``/``ValueError`` with the
+        known names listed) instead of surfacing mid-run.
+        """
+        from repro.scenarios.registry import MACHINES, PARTITIONERS, POLICIES
+        from repro.scenarios.runner import REPORT_KINDS
+        from repro.workloads.spec2000 import all_trace_names
+
+        REPORT_KINDS.get(self.report)
+        MACHINES.get(self.machine.preset)
+        for configuration in self.configurations:
+            POLICIES.get(configuration.policy)
+            if configuration.partitioner is not None:
+                PARTITIONERS.get(configuration.partitioner)
+        known = set(all_trace_names("all"))
+        unknown = [name for name in self.benchmarks if name not in known]
+        if unknown:
+            raise ValueError(f"unknown benchmarks: {unknown}")
+
+    def resolved_benchmarks(self) -> List[str]:
+        """The benchmark list, defaulting to the full SPEC CPU2000 suite."""
+        if self.benchmarks:
+            return list(self.benchmarks)
+        from repro.workloads.spec2000 import all_trace_names
+
+        return all_trace_names("all")
+
+    def expand_sweep(self) -> List[Tuple[Dict[str, object], "ScenarioSpec"]]:
+        """Grid-expand the sweep axes.
+
+        Returns ``(point, spec)`` pairs: ``point`` maps each axis' display
+        parameter to its value, ``spec`` is this spec with the values applied
+        (simulation knobs replaced, machine fields folded into overrides) and
+        the sweep cleared.  Without axes, the single pair ``({}, self)``.
+        """
+        if not self.sweep:
+            return [({}, replace(self, sweep=()))]
+        points: List[Tuple[Dict[str, object], "ScenarioSpec"]] = []
+        for values in itertools.product(*(axis.values for axis in self.sweep)):
+            point = dict(zip((axis.parameter for axis in self.sweep), values))
+            spec = replace(self, sweep=())
+            for axis, value in zip(self.sweep, values):
+                for field_name in axis.target_fields:
+                    if field_name in _SWEEPABLE_SPEC_FIELDS:
+                        spec = replace(spec, **{field_name: value})
+                    else:
+                        spec = replace(
+                            spec, machine=spec.machine.with_overrides(**{field_name: value})
+                        )
+            points.append((point, spec))
+        return points
+
+    # -- serialization -----------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """Lossless JSON-compatible dump (``from_dict`` round-trips exactly)."""
+        return {
+            "name": self.name,
+            "report": self.report,
+            "description": self.description,
+            "machine": self.machine.to_dict(),
+            "num_virtual_clusters": self.num_virtual_clusters,
+            "benchmarks": list(self.benchmarks),
+            "configurations": [
+                configuration.to_dict() for configuration in self.configurations
+            ],
+            "trace_length": self.trace_length,
+            "max_phases": self.max_phases,
+            "region_size": self.region_size,
+            "sweep": [axis.to_dict() for axis in self.sweep],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "ScenarioSpec":
+        """Rebuild a spec from :meth:`to_dict` output (or a hand-written dict).
+
+        Configurations may be bare Table 3 names (``"VC"``) or full dicts;
+        the machine may be a bare preset name.
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown scenario fields {sorted(unknown)}; expected a subset of "
+                f"{sorted(known)}"
+            )
+        if "name" not in data:
+            raise ValueError("a scenario needs a 'name'")
+        kwargs: Dict[str, object] = {"name": data["name"]}
+        for field_name in ("report", "description", "num_virtual_clusters",
+                           "trace_length", "max_phases", "region_size"):
+            if field_name in data:
+                kwargs[field_name] = data[field_name]
+        if "machine" in data:
+            kwargs["machine"] = MachineSpec.from_dict(data["machine"])
+        if "benchmarks" in data:
+            kwargs["benchmarks"] = tuple(data["benchmarks"])
+        if "configurations" in data:
+            kwargs["configurations"] = tuple(
+                SteeringConfiguration.from_dict(entry) for entry in data["configurations"]
+            )
+        if "sweep" in data:
+            kwargs["sweep"] = tuple(SweepAxis.from_dict(entry) for entry in data["sweep"])
+        return cls(**kwargs)
+
+    def to_json(self, indent: int = 2) -> str:
+        """The spec as a JSON document."""
+        return json.dumps(self.to_dict(), indent=indent) + "\n"
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the spec to a JSON scenario file."""
+        Path(path).write_text(self.to_json(), encoding="utf-8")
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path]) -> "ScenarioSpec":
+        """Load a spec from a JSON scenario file."""
+        try:
+            data = json.loads(Path(path).read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}: not valid JSON ({exc})") from exc
+        if not isinstance(data, Mapping):
+            raise ValueError(f"{path}: a scenario file must hold one JSON object")
+        return cls.from_dict(data)
+
+
+def scenario_overrides(
+    spec: ScenarioSpec,
+    benchmarks: Optional[Sequence[str]] = None,
+    trace_length: Optional[int] = None,
+    max_phases: Optional[int] = None,
+) -> ScenarioSpec:
+    """Apply the CLI's common overrides (``--benchmarks``/``--trace-length``/
+    ``--phases``) to a spec, leaving omitted knobs untouched."""
+    if benchmarks is not None:
+        spec = replace(spec, benchmarks=tuple(benchmarks))
+    if trace_length is not None:
+        spec = replace(spec, trace_length=trace_length)
+    if max_phases is not None:
+        spec = replace(spec, max_phases=max_phases)
+    return spec

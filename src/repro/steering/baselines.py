@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.scenarios.registry import register_policy
 from repro.steering.base import SteeringContext, SteeringHardware, SteeringPolicy
 from repro.uops.uop import DynamicUop
 
@@ -77,3 +78,20 @@ class DependenceOnlySteering(SteeringPolicy):
     def hardware(self) -> SteeringHardware:
         """Dependence-check table plus the copy generator."""
         return SteeringHardware(dependence_check=True, copy_generator=True)
+
+
+@register_policy("round-robin")
+def _build_round_robin(num_clusters: int, num_virtual_clusters: int, **params) -> RoundRobinSteering:
+    return RoundRobinSteering(**params)
+
+
+@register_policy("load-balance")
+def _build_load_balance(num_clusters: int, num_virtual_clusters: int, **params) -> LoadBalanceSteering:
+    return LoadBalanceSteering(**params)
+
+
+@register_policy("dependence-only")
+def _build_dependence_only(
+    num_clusters: int, num_virtual_clusters: int, **params
+) -> DependenceOnlySteering:
+    return DependenceOnlySteering(**params)

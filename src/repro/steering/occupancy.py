@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.scenarios.registry import register_policy
 from repro.steering.base import STALL, SteeringContext, SteeringHardware, SteeringPolicy
 from repro.uops.uop import DynamicUop
 
@@ -88,3 +89,9 @@ class OccupancyAwareSteering(SteeringPolicy):
             vote_unit=True,
             copy_generator=True,
         )
+
+
+@register_policy("OP")
+def _build_op(num_clusters: int, num_virtual_clusters: int, **params) -> OccupancyAwareSteering:
+    """Registry builder for the ``OP`` baseline (accepts ``idle_fraction``)."""
+    return OccupancyAwareSteering(**params)

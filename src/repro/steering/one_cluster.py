@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.scenarios.registry import register_policy
 from repro.steering.base import SteeringContext, SteeringHardware, SteeringPolicy
 from repro.uops.uop import DynamicUop
 
@@ -38,3 +39,9 @@ class OneClusterSteering(SteeringPolicy):
     def hardware(self) -> SteeringHardware:
         """No steering hardware at all (and no copies are ever needed)."""
         return SteeringHardware()
+
+
+@register_policy("one-cluster")
+def _build_one_cluster(num_clusters: int, num_virtual_clusters: int, **params) -> OneClusterSteering:
+    """Registry builder for ``one-cluster`` (accepts ``target_cluster``)."""
+    return OneClusterSteering(**params)

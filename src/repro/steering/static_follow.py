@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.scenarios.registry import register_policy
 from repro.steering.base import SteeringContext, SteeringHardware, SteeringPolicy
 from repro.uops.uop import DynamicUop
 
@@ -51,3 +52,12 @@ class StaticAssignmentSteering(SteeringPolicy):
     def hardware(self) -> SteeringHardware:
         """Only the copy generator remains in hardware."""
         return SteeringHardware(copy_generator=True)
+
+
+@register_policy("static")
+def _build_static(
+    num_clusters: int, num_virtual_clusters: int, **params
+) -> StaticAssignmentSteering:
+    """Registry builder for compiler-bound steering (``name`` selects the report
+    label, e.g. ``"OB"`` or ``"RHOP"``; accepts ``default_cluster``)."""
+    return StaticAssignmentSteering(**params)

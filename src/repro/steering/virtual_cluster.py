@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from repro.scenarios.registry import register_policy
 from repro.steering.base import SteeringContext, SteeringHardware, SteeringPolicy
 from repro.uops.uop import DynamicUop
 
@@ -93,3 +94,11 @@ class VirtualClusterSteering(SteeringPolicy):
             copy_generator=True,
             mapping_table_entries=self.num_virtual_clusters,
         )
+
+
+@register_policy("VC")
+def _build_vc(num_clusters: int, num_virtual_clusters: int, **params) -> VirtualClusterSteering:
+    """Registry builder for ``VC``: the mapping-table size follows the machine
+    geometry unless the configuration pins it via ``num_virtual_clusters``."""
+    params.setdefault("num_virtual_clusters", num_virtual_clusters)
+    return VirtualClusterSteering(**params)

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import pytest
-from hypothesis import HealthCheck, given, settings, strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.analysis.completion_time import CompletionTimeEstimator
 from repro.analysis.criticality import compute_criticality

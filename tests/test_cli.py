@@ -2,9 +2,13 @@
 
 from __future__ import annotations
 
+import os
+import subprocess
+import sys
+
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import _cache_dir, build_parser, default_cache_dir, main
 from repro.workloads.spec2000 import all_trace_names
 
 
@@ -21,9 +25,154 @@ class TestParser:
             ["quickstart", "--benchmark", "181.mcf"],
             ["figure5", "--benchmarks", "164.gzip-1", "--trace-length", "500"],
             ["figure7", "--phases", "2"],
+            ["run", "figure5", "--jobs", "2"],
+            ["scenarios", "list"],
+            ["list-configs"],
         ):
             args = parser.parse_args(argv)
             assert callable(args.handler)
+
+
+class TestCacheDirResolution:
+    """$REPRO_CACHE_DIR is read when the command runs, not at import time."""
+
+    def test_env_var_set_after_import_is_honoured(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", "/tmp/late-bound-cache")
+        assert default_cache_dir() == "/tmp/late-bound-cache"
+        args = build_parser().parse_args(["quickstart"])
+        assert _cache_dir(args) == "/tmp/late-bound-cache"
+
+    def test_explicit_flag_beats_env_var(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", "/tmp/ignored")
+        args = build_parser().parse_args(["quickstart", "--cache-dir", "/tmp/explicit"])
+        assert _cache_dir(args) == "/tmp/explicit"
+
+    def test_no_cache_wins(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        args = build_parser().parse_args(["quickstart", "--no-cache"])
+        assert _cache_dir(args) is None
+        assert default_cache_dir() == ".repro_cache"
+
+
+class TestScenarioCommands:
+    def test_scenarios_list(self, capsys):
+        assert main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("figure5", "figure7", "table1", "sweep-link-latency"):
+            assert name in out
+
+    def test_list_configs(self, capsys):
+        assert main(["list-configs"]) == 0
+        out = capsys.readouterr().out
+        assert "steering policies" in out and "partitioners" in out
+        assert "table2-4c" in out and "RHOP" in out
+
+    def test_run_builtin_scenario(self, capsys):
+        assert (
+            main(
+                [
+                    "run", "quickstart",
+                    "--benchmarks", "164.gzip-1",
+                    "--trace-length", "600",
+                    "--no-cache",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "164.gzip-1: quickstart" in out and "one-cluster" in out
+
+    def test_run_scenario_file_matches_deprecated_figure5_command(self, capsys, tmp_path):
+        """`run <figure5.json> --jobs 2` and the legacy `figure5` command
+        print byte-identical tables."""
+        from repro.scenarios.builtin import builtin_scenario
+
+        path = tmp_path / "figure5.json"
+        builtin_scenario("figure5").save(path)
+        common = ["--benchmarks", "164.gzip-1", "--trace-length", "600", "--no-cache"]
+        assert main(["run", str(path), "--jobs", "2"] + common) == 0
+        from_scenario = capsys.readouterr().out
+        with pytest.warns(DeprecationWarning):
+            assert main(["figure5"] + common) == 0
+        from_legacy = capsys.readouterr().out
+        assert from_scenario == from_legacy
+        assert "Figure 5(c)" in from_scenario
+
+    def test_run_unknown_scenario(self):
+        with pytest.raises(SystemExit, match="unknown scenario"):
+            main(["run", "bogus-scenario"])
+
+    def test_run_missing_file(self):
+        with pytest.raises(SystemExit, match="not found"):
+            main(["run", "no/such/scenario.json"])
+
+    def test_run_directory_rejected_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit, match="invalid scenario file"):
+            main(["run", str(tmp_path)])
+
+    def test_stray_file_cannot_shadow_builtin_scenario(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "table1").mkdir()  # a directory named like a built-in
+        assert main(["run", "table1"]) == 0
+        assert "dependence check" in capsys.readouterr().out
+
+    def test_run_wrongly_typed_scenario_field_fails_cleanly(self, tmp_path):
+        path = tmp_path / "bad_type.json"
+        path.write_text('{"name": "x", "machine": 5}', encoding="utf-8")
+        with pytest.raises(SystemExit, match="invalid scenario file"):
+            main(["run", str(path)])
+
+    def test_run_unknown_policy_name_fails_cleanly(self, tmp_path):
+        path = tmp_path / "typo.json"
+        path.write_text(
+            '{"name": "typo", "configurations": '
+            '[{"name": "x", "policy": "stciky"}]}',
+            encoding="utf-8",
+        )
+        with pytest.raises(SystemExit, match="unknown steering policy 'stciky'"):
+            main(["run", str(path)])
+
+    def test_quickstart_matches_run_quickstart(self, capsys):
+        common = ["--trace-length", "600", "--no-cache"]
+        assert main(["quickstart", "--benchmark", "164.gzip-1"] + common) == 0
+        from_command = capsys.readouterr().out
+        assert main(["run", "quickstart", "--benchmarks", "164.gzip-1"] + common) == 0
+        from_scenario = capsys.readouterr().out
+        assert from_command == from_scenario
+
+    def test_run_invalid_machine_for_figure_kind_fails_cleanly(self, tmp_path):
+        path = tmp_path / "wrong_machine.json"
+        path.write_text(
+            '{"name": "bad", "report": "figure5", "machine": "table2-4c", '
+            '"configurations": ["OP", "VC"], "benchmarks": ["164.gzip-1"], '
+            '"trace_length": 400}',
+            encoding="utf-8",
+        )
+        with pytest.raises(SystemExit, match="2-cluster machine"):
+            main(["run", str(path), "--no-cache"])
+
+    def test_table1_shim_matches_run_table1(self, capsys):
+        assert main(["run", "table1"]) == 0
+        from_scenario = capsys.readouterr().out
+        with pytest.warns(DeprecationWarning):
+            assert main(["table1"]) == 0
+        from_legacy = capsys.readouterr().out
+        assert from_scenario == from_legacy
+        # No simulation happened, so no [engine] cache footer either way.
+        assert "[engine]" not in from_scenario
+
+    def test_python_dash_m_repro(self):
+        """`python -m repro` works (not just `python -m repro.cli`)."""
+        env = dict(os.environ)
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        src = os.path.join(root, "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "list-benchmarks", "--suite", "int"],
+            capture_output=True, text=True, env=env, cwd=root,
+        )
+        assert proc.returncode == 0
+        assert "164.gzip-1" in proc.stdout
 
 
 class TestCommands:

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.cluster.config import ClusterConfig, four_cluster_config
 from repro.complexity.model import SteeringComplexityModel, complexity_table

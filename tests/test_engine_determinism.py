@@ -82,36 +82,100 @@ class TestSerialVsParallel:
         assert single.metrics == batched
 
 
-class TestHandBuiltConfigurations:
-    """Configurations without a ConfigurationSpec still run (inline, uncached)."""
+class TestCustomRegisteredConfigurations:
+    """User-registered policies are as cacheable and parallel as Table 3.
+
+    Configurations are declarative (registry names plus parameters), so a
+    custom policy registered in user code gains caching and process-parallel
+    execution for free -- the inline-only fallback path is gone.
+    """
 
     @staticmethod
-    def _spec_less_vc():
+    def _custom_configuration():
+        # A parameterised variant of a stock policy under a custom registry
+        # name: same shape as a user-defined policy class would take.
+        from repro.scenarios.registry import POLICIES, register_policy
+
+        if "pinned-cluster" not in POLICIES:
+            from repro.steering.one_cluster import OneClusterSteering
+
+            @register_policy("pinned-cluster")
+            def _build(num_clusters, num_virtual_clusters, **params):
+                return OneClusterSteering(**params)
+
         from repro.experiments.configs import SteeringConfiguration
 
-        base = TABLE3_CONFIGURATIONS["VC"]
         return SteeringConfiguration(
-            name="VC",
-            description=base.description,
-            partitioner_factory=base.partitioner_factory,
-            policy_factory=base.policy_factory,
-            spec=None,
+            name="pinned-1",
+            policy="pinned-cluster",
+            policy_params={"target_cluster": 1},
+            description="custom policy registered by user code",
         )
 
-    def test_inline_execution_matches_registry_configuration(self):
-        runner = ExperimentRunner(SETTINGS)
-        registry = runner.run_benchmark("164.gzip-1", TABLE3_CONFIGURATIONS["VC"])
-        hand_built = runner.run_benchmark("164.gzip-1", self._spec_less_vc())
-        assert [r.metrics for r in registry.phase_results] == [
-            r.metrics for r in hand_built.phase_results
+    def test_custom_configuration_runs_parallel_and_caches(self, tmp_path):
+        configuration = self._custom_configuration()
+        runner = ExperimentRunner(SETTINGS, jobs=2, cache_dir=str(tmp_path / "cache"))
+        result = runner.run_benchmark("164.gzip-1", configuration)
+        assert result.cycles > 0
+        # Every phase was simulated (in worker processes) and stored.
+        assert runner.engine.cache.stats()["stores"] == len(result.phase_results)
+
+        replay_runner = ExperimentRunner(SETTINGS, jobs=1, cache_dir=str(tmp_path / "cache"))
+        replay = replay_runner.run_benchmark("164.gzip-1", configuration)
+        assert replay_runner.engine.cache.misses == 0
+        assert [r.metrics for r in result.phase_results] == [
+            r.metrics for r in replay.phase_results
         ]
 
-    def test_hand_built_configurations_bypass_cache_and_pool(self, tmp_path):
-        runner = ExperimentRunner(SETTINGS, jobs=2, cache_dir=str(tmp_path / "cache"))
-        result = runner.run_benchmark("164.gzip-1", self._spec_less_vc())
-        assert result.cycles > 0
-        # Nothing was looked up or stored: the job is not transportable.
-        assert runner.engine.cache.stats() == {"hits": 0, "misses": 0, "stores": 0}
+    def test_custom_configuration_matches_serial(self):
+        configuration = self._custom_configuration()
+        serial = ExperimentRunner(SETTINGS, jobs=1).run_benchmark("164.gzip-1", configuration)
+        parallel = ExperimentRunner(SETTINGS, jobs=2).run_benchmark("164.gzip-1", configuration)
+        assert [r.metrics for r in serial.phase_results] == [
+            r.metrics for r in parallel.phase_results
+        ]
+
+    def test_pinned_virtual_clusters_key_the_cache_even_if_undeclared(self, tmp_path):
+        """Configurations pinning different virtual-cluster counts must never
+        share cache entries, even when ``uses_virtual_clusters`` was (wrongly)
+        left False -- e.g. in a hand-written scenario JSON."""
+        import dataclasses
+
+        from repro.experiments.configs import TABLE3_CONFIGURATIONS
+
+        base = TABLE3_CONFIGURATIONS["VC"]
+        vc2 = dataclasses.replace(
+            base, name="vc-2", num_virtual_clusters=2, uses_virtual_clusters=False
+        )
+        vc4 = dataclasses.replace(
+            base, name="vc-4", num_virtual_clusters=4, uses_virtual_clusters=False
+        )
+        cache_dir = str(tmp_path / "cache")
+        cached = ExperimentRunner(SETTINGS, cache_dir=cache_dir)
+        cached_2 = cached.run_benchmark("164.gzip-1", vc2)
+        cached_4 = cached.run_benchmark("164.gzip-1", vc4)
+        fresh = ExperimentRunner(SETTINGS)
+        fresh_2 = fresh.run_benchmark("164.gzip-1", vc2)
+        fresh_4 = fresh.run_benchmark("164.gzip-1", vc4)
+        assert [r.metrics for r in cached_2.phase_results] == [
+            r.metrics for r in fresh_2.phase_results
+        ]
+        assert [r.metrics for r in cached_4.phase_results] == [
+            r.metrics for r in fresh_4.phase_results
+        ]
+
+    def test_display_name_does_not_split_cache_entries(self, tmp_path):
+        """Renaming a configuration must hit the same cached results."""
+        import dataclasses
+
+        configuration = self._custom_configuration()
+        cache_dir = str(tmp_path / "cache")
+        first = ExperimentRunner(SETTINGS, cache_dir=cache_dir)
+        first.run_benchmark("164.gzip-1", configuration)
+        renamed = dataclasses.replace(configuration, name="pinned-1-renamed")
+        second = ExperimentRunner(SETTINGS, cache_dir=cache_dir)
+        second.run_benchmark("164.gzip-1", renamed)
+        assert second.engine.cache.misses == 0
 
 
 class TestCacheReplay:

@@ -12,8 +12,7 @@ from repro.partition.ob_partitioner import OperationBasedPartitioner
 from repro.partition.rhop_partitioner import RhopPartitioner
 from repro.partition.vc_partitioner import VirtualClusterPartitioner
 from repro.program.ddg import build_ddg
-from repro.uops.opcodes import UopClass
-from repro.workloads.generator import WorkloadGenerator, generate_program
+from repro.workloads.generator import generate_program
 from tests.conftest import make_instruction
 
 

@@ -12,7 +12,6 @@ from repro.program.program import Program
 from repro.program.regions import form_regions, region_of_block
 from repro.program.trace import AddressModel, TraceGenerator, expand_trace
 from repro.uops.opcodes import UopClass
-from repro.uops.uop import StaticInstruction
 from tests.conftest import make_instruction
 
 

@@ -1,0 +1,339 @@
+"""Tests for the declarative scenario API (repro.scenarios)."""
+
+from __future__ import annotations
+
+import dataclasses
+import pickle
+
+import pytest
+
+from repro.experiments.configs import (
+    SteeringConfiguration,
+    TABLE3_CONFIGURATIONS,
+    vc_variant,
+)
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.report import format_table
+from repro.experiments.runner import ExperimentRunner, ExperimentSettings
+from repro.scenarios.builtin import builtin_scenario
+from repro.scenarios.registry import (
+    MACHINES,
+    PARTITIONERS,
+    POLICIES,
+    Registry,
+    SCENARIOS,
+    build_machine,
+    build_policy,
+)
+from repro.scenarios.runner import REPORT_KINDS, run_scenario
+from repro.scenarios.spec import MachineSpec, ScenarioSpec, SweepAxis
+
+#: Small settings so scenario tests stay fast.
+SMALL = {"benchmarks": ("164.gzip-1", "178.galgel"), "trace_length": 700, "max_phases": 1}
+
+
+def small(spec: ScenarioSpec, **extra) -> ScenarioSpec:
+    """A fast variant of a spec (tiny traces, two benchmarks)."""
+    return dataclasses.replace(spec, **{**SMALL, **extra})
+
+
+class TestConfigurationSpecs:
+    """Every configuration is declarative: picklable, hashable, serializable."""
+
+    def all_configurations(self):
+        return list(TABLE3_CONFIGURATIONS.values()) + [
+            vc_variant("VC(4->4)", 4),
+            vc_variant("VC(2->4)", 2),
+            vc_variant("VC(8)", 8),
+        ]
+
+    def test_round_trip_to_dict(self):
+        for configuration in self.all_configurations():
+            rebuilt = SteeringConfiguration.from_dict(configuration.to_dict())
+            assert rebuilt == configuration
+
+    def test_pickle_and_hash(self):
+        for configuration in self.all_configurations():
+            assert pickle.loads(pickle.dumps(configuration)) == configuration
+            assert hash(configuration) == hash(pickle.loads(pickle.dumps(configuration)))
+
+    def test_string_shorthand_is_table3(self):
+        assert SteeringConfiguration.from_dict("VC") == TABLE3_CONFIGURATIONS["VC"]
+        with pytest.raises(KeyError):
+            SteeringConfiguration.from_dict("bogus")
+
+    def test_dict_params_normalise_to_frozen_form(self):
+        a = SteeringConfiguration(name="x", policy="static", policy_params={"name": "OB"})
+        b = SteeringConfiguration(name="x", policy="static", policy_params=(("name", "OB"),))
+        assert a == b and hash(a) == hash(b)
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ValueError, match="unknown configuration fields"):
+            SteeringConfiguration.from_dict({"name": "x", "policy": "OP", "lambda": 1})
+
+    def test_nested_list_params_stay_hashable_and_round_trip(self):
+        config = SteeringConfiguration(
+            name="x", policy="OP", policy_params={"weights": [1, [2, 3]]}
+        )
+        assert hash(config)
+        assert SteeringConfiguration.from_dict(config.to_dict()) == config
+        assert config.to_dict()["policy_params"] == {"weights": [1, [2, 3]]}
+
+    def test_unhashable_param_values_rejected_at_construction(self):
+        with pytest.raises(TypeError, match="JSON scalars or lists"):
+            SteeringConfiguration(name="x", policy="OP", policy_params={"w": {"a": 1}})
+
+    def test_policy_and_partitioner_construction(self):
+        vc = TABLE3_CONFIGURATIONS["VC"]
+        policy = vc.make_policy(2, 4)
+        assert policy.num_virtual_clusters == 4
+        partitioner = vc.make_partitioner(2, 4, region_size=64)
+        assert partitioner.num_targets == 4 and partitioner.region_size == 64
+        pinned = vc_variant("VC(2->4)", 2)
+        assert pinned.make_policy(4, 4).num_virtual_clusters == 2
+
+
+class TestRegistries:
+    def test_builtin_names_present(self):
+        assert {"OP", "VC", "one-cluster", "static"} <= set(POLICIES.names())
+        assert {"OB", "RHOP", "VC"} <= set(PARTITIONERS.names())
+        assert {"table2-2c", "table2-4c"} <= set(MACHINES.names())
+        assert {"figure5", "figure6", "figure7", "table1"} <= set(SCENARIOS.names())
+        assert {"table", "figure5", "sweep", "table1"} <= set(REPORT_KINDS.names())
+
+    def test_unknown_name_lists_known_ones(self):
+        with pytest.raises(KeyError, match="unknown steering policy 'bogus'"):
+            POLICIES.get("bogus")
+        with pytest.raises(KeyError, match="registered:"):
+            build_machine("bogus-machine", {})
+
+    def test_duplicate_registration_rejected(self):
+        registry = Registry("thing")
+        registry.register("a")(lambda: 1)
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register("a")(lambda: 2)
+        registry.register("a", overwrite=True)(lambda: 3)
+        assert registry.get("a")() == 3
+
+    def test_invalid_name_rejected(self):
+        registry = Registry("thing")
+        with pytest.raises(ValueError):
+            registry.register("")
+
+    def test_build_policy_passes_geometry_and_params(self):
+        policy = build_policy("VC", {"fallback_balance": False}, 2, 8)
+        assert policy.num_virtual_clusters == 8 and policy.fallback_balance is False
+
+    def test_machine_presets_resolve(self):
+        assert build_machine("table2-2c", {}).num_clusters == 2
+        assert build_machine("table2-4c", {"link_latency": 3}).link_latency == 3
+
+
+class TestScenarioSpecSerialization:
+    def sample_spec(self) -> ScenarioSpec:
+        return ScenarioSpec(
+            name="sample",
+            report="sweep",
+            description="a swept custom scenario",
+            machine=MachineSpec(preset="table2-2c", overrides={"link_latency": 2}),
+            num_virtual_clusters=4,
+            benchmarks=("164.gzip-1", "181.mcf"),
+            configurations=(
+                TABLE3_CONFIGURATIONS["OP"],
+                vc_variant("VC(4)", 4),
+            ),
+            trace_length=1234,
+            max_phases=2,
+            region_size=64,
+            sweep=(
+                SweepAxis(parameter="trace_length", values=(500, 1000)),
+                SweepAxis(
+                    parameter="issue_queue_size",
+                    values=(16, 48),
+                    fields=("iq_int_size", "iq_fp_size"),
+                ),
+            ),
+        )
+
+    def test_round_trip_to_dict(self):
+        for spec in (self.sample_spec(), *(builtin_scenario(n) for n in SCENARIOS.names())):
+            assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_round_trip_json_file(self, tmp_path):
+        spec = self.sample_spec()
+        path = tmp_path / "sample.json"
+        spec.save(path)
+        assert ScenarioSpec.from_file(path) == spec
+
+    def test_pickle(self):
+        spec = self.sample_spec()
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenario fields"):
+            ScenarioSpec.from_dict({"name": "x", "bogus_knob": 3})
+
+    def test_invalid_json_file_rejected(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("not json{", encoding="utf-8")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            ScenarioSpec.from_file(path)
+
+    def test_duplicate_configuration_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate configuration names"):
+            ScenarioSpec(
+                name="dup",
+                configurations=(TABLE3_CONFIGURATIONS["OP"], TABLE3_CONFIGURATIONS["OP"]),
+            )
+
+    def test_settings_resolve_machine_and_overrides(self):
+        spec = self.sample_spec()
+        settings = spec.settings()
+        assert settings.num_clusters == 2
+        assert settings.config_overrides == {"link_latency": 2}
+        assert settings.trace_length == 1234
+        machine = spec.machine.resolve()
+        assert machine.link_latency == 2
+
+    def test_examples_figure5_json_matches_builtin(self):
+        from pathlib import Path
+
+        path = Path(__file__).resolve().parents[1] / "examples" / "figure5.json"
+        assert ScenarioSpec.from_file(path) == builtin_scenario("figure5")
+
+
+class TestSweepExpansion:
+    def test_grid_product_and_field_application(self):
+        spec = ScenarioSpec(
+            name="grid",
+            report="sweep",
+            configurations=(TABLE3_CONFIGURATIONS["OP"],),
+            sweep=(
+                SweepAxis(parameter="trace_length", values=(500, 1000)),
+                SweepAxis(parameter="link_latency", values=(1, 4)),
+            ),
+        )
+        points = spec.expand_sweep()
+        assert len(points) == 4
+        seen = set()
+        for point, point_spec in points:
+            seen.add((point["trace_length"], point["link_latency"]))
+            assert point_spec.trace_length == point["trace_length"]
+            assert point_spec.machine.resolve().link_latency == point["link_latency"]
+            assert point_spec.sweep == ()
+        assert seen == {(500, 1), (500, 4), (1000, 1), (1000, 4)}
+
+    def test_multi_field_axis(self):
+        spec = ScenarioSpec(
+            name="iq",
+            sweep=(
+                SweepAxis(
+                    parameter="issue_queue_size",
+                    values=(16,),
+                    fields=("iq_int_size", "iq_fp_size"),
+                ),
+            ),
+        )
+        (_, point_spec), = spec.expand_sweep()
+        machine = point_spec.machine.resolve()
+        assert machine.iq_int_size == 16 and machine.iq_fp_size == 16
+
+    def test_unknown_sweep_field_rejected(self):
+        with pytest.raises(ValueError, match="cannot sweep"):
+            SweepAxis(parameter="warp_drive", values=(1,))
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ValueError, match="has no values"):
+            SweepAxis(parameter="trace_length", values=())
+
+
+class TestScenarioExecution:
+    def test_json_loaded_figure5_matches_legacy_driver_bit_identically(self, tmp_path):
+        """The acceptance check: a JSON-roundtripped figure5 scenario emits
+        exactly the tables the legacy ``run_figure5`` driver produces."""
+        path = tmp_path / "figure5.json"
+        builtin_scenario("figure5").save(path)
+        spec = small(ScenarioSpec.from_file(path))
+
+        scenario_text = run_scenario(spec, jobs=2)
+
+        settings = ExperimentSettings(
+            num_clusters=2, num_virtual_clusters=2,
+            trace_length=SMALL["trace_length"], max_phases=SMALL["max_phases"],
+        )
+        result = run_figure5(
+            settings, benchmarks=list(SMALL["benchmarks"]), runner=ExperimentRunner(settings)
+        )
+        legacy_text = "\n".join(
+            [
+                format_table(
+                    result.benchmark_rows("int"),
+                    title="Figure 5(a) -- SPECint slowdown vs OP (%)",
+                ),
+                format_table(
+                    result.benchmark_rows("fp"),
+                    title="Figure 5(b) -- SPECfp slowdown vs OP (%)",
+                ),
+                format_table(
+                    result.averages_table(),
+                    title="Figure 5(c) -- average slowdown vs OP (%)",
+                ),
+                "",
+            ]
+        )
+        assert scenario_text == legacy_text
+
+    def test_sweep_scenario_runs(self):
+        spec = small(
+            builtin_scenario("sweep-link-latency"),
+            benchmarks=("164.gzip-1",),
+            sweep=(SweepAxis(parameter="link_latency", values=(1, 4)),),
+        )
+        text = run_scenario(spec)
+        assert "Ablation sweep -- link_latency" in text
+        assert "slowdown vs OP (%)" in text
+
+    def test_table_scenario_with_custom_registered_policy(self, tmp_path):
+        """A scenario using a user-registered policy runs process-parallel
+        with caching -- no inline-only fallback remains anywhere."""
+        from repro.scenarios.registry import POLICIES, register_policy
+
+        if "test-balance" not in POLICIES:
+            from repro.steering.baselines import LoadBalanceSteering
+
+            @register_policy("test-balance")
+            def _build(num_clusters, num_virtual_clusters, **params):
+                return LoadBalanceSteering(**params)
+
+        spec = ScenarioSpec(
+            name="custom",
+            report="table",
+            benchmarks=("164.gzip-1",),
+            trace_length=600,
+            configurations=(
+                TABLE3_CONFIGURATIONS["OP"],
+                SteeringConfiguration(name="balance", policy="test-balance"),
+            ),
+        )
+        cache_dir = str(tmp_path / "cache")
+        first = run_scenario(spec, jobs=2, cache_dir=cache_dir)
+        second = run_scenario(spec, jobs=1, cache_dir=cache_dir)
+        assert first == second
+        assert "balance" in first
+
+    def test_table1_scenario_needs_no_simulation(self):
+        text = run_scenario(builtin_scenario("table1"))
+        assert "dependence check" in text and "VC" in text
+
+    def test_sweep_axes_rejected_by_non_sweep_kinds(self):
+        spec = dataclasses.replace(
+            small(builtin_scenario("figure5")),
+            sweep=(SweepAxis(parameter="trace_length", values=(500,)),),
+        )
+        with pytest.raises(ValueError, match="does not interpret sweep axes"):
+            run_scenario(spec)
+
+    def test_figure_kinds_validate_machine(self):
+        spec = small(builtin_scenario("figure5"), machine=MachineSpec(preset="table2-4c"))
+        with pytest.raises(ValueError, match="2-cluster machine"):
+            run_scenario(spec)

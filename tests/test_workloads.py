@@ -11,7 +11,6 @@ from repro.uops.opcodes import UopClass
 from repro.uops.registers import RegisterSpace
 from repro.workloads.generator import BenchmarkProfile, WorkloadGenerator, generate_program
 from repro.workloads.kernels import (
-    KernelKind,
     RegisterPool,
     branchy_kernel,
     parallel_chains_kernel,
