@@ -127,6 +127,22 @@ def gzip_trace():
 
 
 @pytest.fixture(scope="session")
+def gzip_compiled_trace(gzip_trace):
+    """The compiled (structure-of-arrays) form of :func:`gzip_trace`.
+
+    Compiled once per session: the simulator-throughput benchmarks measure
+    the kernel, not trace compilation (which real runs pay once per phase and
+    then reuse from the artifact store).  Benchmarks that change the
+    program's annotations must refresh them with ``annotate_from`` before
+    running -- the compiled trace snapshots annotations.
+    """
+    from repro.uops.compiled import compile_trace
+
+    _, trace = gzip_trace
+    return compile_trace(trace)
+
+
+@pytest.fixture(scope="session")
 def galgel_program():
     """Shared static program of 178.galgel phase 0 (partitioner benchmarks)."""
     return WorkloadGenerator(profile_for("178.galgel")).generate_program(0)

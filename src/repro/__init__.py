@@ -45,7 +45,7 @@ from repro.experiments import (
     run_figure7,
     run_table1,
 )
-from repro.engine import ParallelRunner, ResultCache, SimulationJob
+from repro.engine import ParallelRunner, ResultCache, SimulationJob, TraceArtifactStore
 from repro.experiments.configs import (
     SteeringConfiguration,
     TABLE3_CONFIGURATIONS,
@@ -74,7 +74,7 @@ from repro.steering import (
     StaticAssignmentSteering,
     VirtualClusterSteering,
 )
-from repro.uops import DynamicUop, StaticInstruction, UopClass
+from repro.uops import CompiledTrace, DynamicUop, StaticInstruction, UopClass, compile_trace
 from repro.workloads import (
     BenchmarkProfile,
     WorkloadGenerator,
@@ -90,6 +90,8 @@ __all__ = [
     "UopClass",
     "StaticInstruction",
     "DynamicUop",
+    "CompiledTrace",
+    "compile_trace",
     "Program",
     "build_ddg",
     "form_regions",
@@ -119,6 +121,7 @@ __all__ = [
     "ParallelRunner",
     "ResultCache",
     "SimulationJob",
+    "TraceArtifactStore",
     # scenarios
     "ScenarioSpec",
     "MachineSpec",

@@ -52,6 +52,16 @@ engine (:mod:`repro.engine`) and accepts three knobs:
 
 ``--no-cache``
     Disable the cache for this invocation (simulate everything afresh).
+
+``--trace-dir PATH`` / ``--no-trace-artifacts``
+    Compiled phase traces are persisted as content-addressed ``.npz``
+    artifacts (default ``<cache dir>/traces``) so parallel workers and
+    repeated runs *load* traces instead of regenerating them.  Artifacts are
+    keyed by the trace inputs only (profile, phase, length, register space),
+    so every steering configuration of a phase -- and every sweep touching
+    the same phases -- shares one artifact.  ``--no-cache`` also disables
+    artifacts unless an explicit ``--trace-dir`` is given;
+    ``--no-trace-artifacts`` turns them off on their own.
 """
 
 from __future__ import annotations
@@ -62,7 +72,7 @@ import sys
 import warnings
 from typing import List, Optional, Sequence
 
-from repro.engine import ParallelRunner, ResultCache
+from repro.engine import AUTO_TRACE_ROOT, ParallelRunner, ResultCache
 from repro.experiments.configs import TABLE3_CONFIGURATIONS
 from repro.scenarios.builtin import builtin_scenario
 from repro.scenarios.registry import MACHINES, PARTITIONERS, POLICIES, SCENARIOS
@@ -103,11 +113,20 @@ def _cache_dir(args: argparse.Namespace) -> Optional[str]:
     return args.cache_dir if args.cache_dir is not None else default_cache_dir()
 
 
+def _trace_root(args: argparse.Namespace):
+    """The trace-artifact directory selected by the trace/cache options."""
+    if getattr(args, "no_trace_artifacts", False):
+        return None
+    if getattr(args, "trace_dir", None) is not None:
+        return args.trace_dir
+    return AUTO_TRACE_ROOT  # follow the result cache (<cache dir>/traces)
+
+
 def _engine(args: argparse.Namespace) -> ParallelRunner:
-    """The engine configured by ``--jobs`` / ``--cache-dir`` / ``--no-cache``."""
+    """The engine configured by the ``--jobs`` / cache / trace-artifact options."""
     cache_dir = _cache_dir(args)
     cache = ResultCache(cache_dir) if cache_dir is not None else None
-    return ParallelRunner(max_workers=args.jobs, cache=cache)
+    return ParallelRunner(max_workers=args.jobs, cache=cache, trace_root=_trace_root(args))
 
 
 def _engine_footer(engine: ParallelRunner) -> str:
@@ -118,16 +137,27 @@ def _engine_footer(engine: ParallelRunner) -> str:
     otherwise silently reproduce old numbers.  Commands that never consult
     the cache (e.g. ``run table1``, which simulates nothing) get no footer.
     """
-    if engine.cache is None:
-        return ""
-    stats = engine.cache.stats()
-    if stats["hits"] + stats["misses"] + stats["stores"] == 0:
-        return ""
-    return (
-        f"[engine] jobs={engine.max_workers}  cache={engine.cache.root}  "
-        f"hits={stats['hits']} misses={stats['misses']} stored={stats['stores']}  "
-        "(cached results skip simulation; use --no-cache to force fresh runs)\n"
-    )
+    footer = ""
+    if engine.cache is not None:
+        stats = engine.cache.stats()
+        if stats["hits"] + stats["misses"] + stats["stores"] > 0:
+            footer += (
+                f"[engine] jobs={engine.max_workers}  cache={engine.cache.root}  "
+                f"hits={stats['hits']} misses={stats['misses']} stored={stats['stores']}  "
+                "(cached results skip simulation; use --no-cache to force fresh runs)\n"
+            )
+    store = engine.trace_store
+    if store is not None:
+        trace_stats = store.stats()
+        if trace_stats["hits"] + trace_stats["misses"] + trace_stats["stores"] > 0:
+            # Parallel runs touch the store from worker processes, whose
+            # counters are not visible here; serial runs report exactly.
+            footer += (
+                f"[traces] dir={store.root}  loaded={trace_stats['hits']} "
+                f"generated={trace_stats['misses']} stored={trace_stats['stores']}  "
+                "(compiled traces are shared across configurations and runs)\n"
+            )
+    return footer
 
 
 def _benchmarks(args: argparse.Namespace) -> Optional[List[str]]:
@@ -173,6 +203,19 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
         "--no-cache",
         action="store_true",
         help="disable the result cache for this invocation",
+    )
+    parser.add_argument(
+        "--trace-dir",
+        default=None,
+        metavar="PATH",
+        help="directory for shared compiled-trace artifacts "
+        "(default '<cache dir>/traces'; artifacts are keyed by the trace "
+        "inputs, so all configurations of a phase share one file)",
+    )
+    parser.add_argument(
+        "--no-trace-artifacts",
+        action="store_true",
+        help="regenerate traces from their seeds instead of loading artifacts",
     )
 
 

@@ -59,7 +59,11 @@ class SetAssociativeCache:
         self.line_size = int(line_size)
         self.hit_latency = int(hit_latency)
         # Per set: list of tags in LRU order (index 0 = most recently used).
-        self._sets: List[List[int]] = [[] for _ in range(self.num_sets)]
+        # Sets materialise lazily on first touch -- an absent key is an empty
+        # set -- so constructing a hierarchy (every simulation run builds a
+        # fresh one) does not pay for the tens of thousands of sets of an L2
+        # the trace may never reach.
+        self._sets: Dict[int, List[int]] = {}
         self.stats = CacheStats()
 
     def _locate(self, address: int):
@@ -73,11 +77,16 @@ class SetAssociativeCache:
         ``allocate`` is ``False``.
         """
         set_index, tag = self._locate(address)
-        ways = self._sets[set_index]
         self.stats.accesses += 1
+        ways = self._sets.get(set_index)
+        if ways is None:
+            if allocate:
+                self._sets[set_index] = [tag]
+            return False
         if tag in ways:
-            ways.remove(tag)
-            ways.insert(0, tag)
+            if ways[0] != tag:
+                ways.remove(tag)
+                ways.insert(0, tag)
             self.stats.hits += 1
             return True
         if allocate:

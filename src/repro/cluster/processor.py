@@ -19,16 +19,28 @@ it stays there; if an operand lives in another cluster an explicit copy µop
 is inserted in the *producing* cluster's copy queue and must traverse the
 point-to-point link before the consumer can issue.
 
-Performance note (see DESIGN.md): the simulator is cycle-stepped but all
+Performance notes (see DESIGN.md): the simulator is cycle-stepped but all
 per-µop work is event-driven -- ready lists and waiter lists mean the inner
 loops only touch µops whose state changes, never the full contents of the
-48-entry issue queues, which keeps pure-Python simulation tractable.
+48-entry issue queues.  The kernel consumes a
+:class:`~repro.uops.compiled.CompiledTrace` -- every per-µop fact (queue
+kind, latency, memory flags, deduplicated sources, destination register
+kinds) is precomputed into flat lists before the first cycle, so dispatch
+indexes instead of chasing ``DynamicUop`` properties -- and the cycle loop
+*skips idle cycles*: when no µop is ready, no event is due and the front end
+is blocked or drained, the clock jumps straight to the next scheduled
+event/dispatch-ready cycle.  Both restructurings are bit-identical to the
+naive cycle-by-cycle object-chasing simulation (the golden-metrics suite
+pins this).
 """
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
-from typing import Deque, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from repro.cluster.cache import MemoryHierarchy
 from repro.cluster.config import ClusterConfig
@@ -40,9 +52,13 @@ from repro.cluster.regfile import RegisterFiles
 from repro.cluster.rename import RegisterLocationTable, Value
 from repro.cluster.rob import ReorderBuffer
 from repro.steering.base import SteeringContext, SteeringPolicy
+from repro.uops.compiled import CompiledTrace, CompiledUopView, compile_trace
 from repro.uops.opcodes import IssueQueueKind
 from repro.uops.registers import DEFAULT_REGISTER_SPACE, RegisterSpace
 from repro.uops.uop import DynamicUop
+
+#: Issue-queue kinds in the order the issue stage services them.
+_ISSUE_KINDS = (IssueQueueKind.INT, IssueQueueKind.FP, IssueQueueKind.COPY)
 
 
 class _InFlight:
@@ -50,7 +66,7 @@ class _InFlight:
 
     __slots__ = (
         "order",
-        "uop",
+        "index",
         "cluster",
         "queue_kind",
         "latency",
@@ -66,11 +82,13 @@ class _InFlight:
         "is_load",
         "address",
         "dests",
+        "dest_int",
+        "dest_fp",
     )
 
     def __init__(self, order: int, cluster: int, queue_kind: IssueQueueKind) -> None:
         self.order = order
-        self.uop: Optional[DynamicUop] = None
+        self.index = -1
         self.cluster = cluster
         self.queue_kind = queue_kind
         self.latency = 1
@@ -86,6 +104,8 @@ class _InFlight:
         self.is_load = False
         self.address = 0
         self.dests: Tuple[int, ...] = ()
+        self.dest_int = 0
+        self.dest_fp = 0
 
     def __lt__(self, other: "_InFlight") -> bool:  # pragma: no cover - heap tie-break
         return self.order < other.order
@@ -134,14 +154,36 @@ class ClusteredProcessor(SteeringContext):
         self.steering.reset(config.num_clusters)
         self._cluster_inflight = [0] * config.num_clusters
         self._events: Dict[int, List[_InFlight]] = {}
-        self._dispatch_buffer: Deque[Tuple[int, DynamicUop]] = deque()
+        self._event_heap: List[int] = []
+        self._dispatch_buffer: Deque[Tuple[int, int]] = deque()
         self._dispatch_buffer_cap = config.fetch_width * (config.fetch_to_dispatch_latency + 2)
-        self._trace_iter: Optional[Iterable[DynamicUop]] = None
         self._trace_exhausted = False
+        self._fetch_pos = 0
+        self._num_uops = 0
         self._order = 0
         self._pending_redirect: Optional[_InFlight] = None
         self._dispatch_blocked_until = 0
         self._uops_in_flight = 0
+
+    def _bind_trace(self, compiled: CompiledTrace) -> None:
+        """Hoist every per-µop fact the pipeline needs into flat Python lists.
+
+        This is the whole point of the compiled representation: after this,
+        the per-cycle loops never call a property, classify a register or
+        convert an enum -- they index (see DESIGN.md).
+        """
+        self._num_uops = len(compiled)
+        self._u_queue = compiled.queue_kinds()
+        self._u_latency = compiled.latency_list()
+        self._u_is_memory = compiled.is_memory_list()
+        self._u_is_load = compiled.is_load_list()
+        self._u_is_branch = compiled.is_branch_list()
+        self._u_address = compiled.address_list()
+        self._u_mispredicted = compiled.mispredicted_list()
+        self._u_dests = compiled.dest_tuples()
+        self._u_usrcs = compiled.unique_src_tuples()
+        self._u_dest_counts = compiled.dest_kind_counts(self.register_space)
+        self._view = CompiledUopView(compiled)
 
     # ------------------------------------------------ SteeringContext interface --
     @property
@@ -162,18 +204,28 @@ class ClusteredProcessor(SteeringContext):
         return self.rename.location_mask(reg)
 
     # ----------------------------------------------------------------- running --
-    def run(self, trace: Sequence[DynamicUop], max_cycles: Optional[int] = None) -> SimulationMetrics:
+    def run(
+        self,
+        trace: Union[CompiledTrace, Sequence[DynamicUop]],
+        max_cycles: Optional[int] = None,
+    ) -> SimulationMetrics:
         """Execute ``trace`` to completion and return the collected metrics.
+
+        ``trace`` may be a :class:`~repro.uops.compiled.CompiledTrace` (the
+        fast path -- compile once, simulate many times) or a plain sequence
+        of :class:`DynamicUop`, which is compiled on entry.  Both forms
+        produce bit-identical metrics.
 
         Raises
         ------
         RuntimeError
             If the simulation exceeds ``max_cycles`` (deadlock guard).
         """
+        compiled = compile_trace(trace)
         self._reset_state()
+        self._bind_trace(compiled)
         if self.config.warm_caches:
-            self._warm_caches(trace)
-        self._trace_iter = iter(trace)
+            self._warm_caches(compiled)
         limit = max_cycles if max_cycles is not None else self.config.max_cycles
         while not self._finished():
             self._step()
@@ -182,23 +234,26 @@ class ClusteredProcessor(SteeringContext):
                     f"simulation exceeded {limit} cycles "
                     f"({self.metrics.committed_uops} µops committed); possible deadlock"
                 )
+            self._skip_idle_cycles(limit)
         self.metrics.cycles = self.cycle
         self.metrics.cache = self.memory.summary()
         self.metrics.vc_remaps = getattr(self.steering, "remap_count", 0)
         return self.metrics
 
-    def _warm_caches(self, trace: Sequence[DynamicUop]) -> None:
+    def _warm_caches(self, compiled: CompiledTrace) -> None:
         """Pre-touch the trace's memory footprint, then zero the cache statistics.
 
         This models the steady state deep inside a PinPoints region: capacity
         and conflict behaviour are preserved (the working set still may not
         fit), but one-time compulsory misses do not dominate the short trace.
         """
-        for uop in trace:
-            if uop.is_load:
-                self.memory.load_latency(uop.address)
-            elif uop.is_store:
-                self.memory.store_access(uop.address)
+        addresses = compiled.address_list()
+        is_load = compiled.is_load_list()
+        for index in np.flatnonzero(compiled.is_memory).tolist():
+            if is_load[index]:
+                self.memory.load_latency(addresses[index])
+            else:
+                self.memory.store_access(addresses[index])
         self.memory.l1.reset_stats()
         self.memory.l2.reset_stats()
 
@@ -218,6 +273,67 @@ class ClusteredProcessor(SteeringContext):
         self._fetch()
         self.cycle += 1
 
+    # ------------------------------------------------------------ idle skipping --
+    def _next_event_cycle(self) -> Optional[int]:
+        """Cycle of the earliest pending writeback event, or ``None``."""
+        heap = self._event_heap
+        events = self._events
+        while heap and heap[0] not in events:
+            heapq.heappop(heap)
+        return heap[0] if heap else None
+
+    def _skip_idle_cycles(self, limit: int) -> None:
+        """Jump the clock over cycles in which provably nothing can happen.
+
+        A cycle is skippable only when every stage is inert: no ready µop to
+        issue, no completed ROB head to commit, no due event, the fetch
+        stage drained or blocked on a full dispatch buffer, and the dispatch
+        stage either idle (empty buffer / head still in the fetch pipeline)
+        or stalled on a branch redirect.  Redirect-stall cycles increment
+        ``mispredict_stalls`` exactly as stepped cycles would, so skipping is
+        invisible in the metrics.  Cycles in which the dispatch stage would
+        *act* (even just to consult the steering policy or bump a stall
+        counter that depends on machine state) are never skipped -- policies
+        may be stateful, so they must observe every such cycle.
+        """
+        if self.issue_queues.total_ready:
+            return
+        head = self.rob.head()
+        if head is not None and head.completed:
+            return
+        if not self._trace_exhausted and len(self._dispatch_buffer) < self._dispatch_buffer_cap:
+            return
+        if self._finished():
+            return
+        cycle = self.cycle
+        buffer = self._dispatch_buffer
+        redirect = self._pending_redirect is not None
+        blocked = redirect or cycle < self._dispatch_blocked_until
+        head_ready = buffer[0][0] if buffer else 0
+        if buffer and not blocked and head_ready <= cycle:
+            return  # the dispatch stage acts this cycle
+        candidates = []
+        next_event = self._next_event_cycle()
+        if next_event is not None:
+            candidates.append(next_event)
+        if buffer and not blocked:
+            candidates.append(head_ready)
+        elif blocked and not redirect:
+            candidates.append(self._dispatch_blocked_until)
+        # No candidate means deadlock; jump to the guard so the run loop
+        # raises exactly as cycle-by-cycle stepping eventually would.
+        goal = min(min(candidates) if candidates else limit + 1, limit + 1)
+        if goal <= cycle:
+            return
+        if buffer and blocked:
+            # The redirect block is checked before the steering policy, so a
+            # stalled cycle with a dispatch-ready head counts one mispredict
+            # stall and touches nothing else -- account the skipped ones.
+            stalled = goal - max(cycle, head_ready)
+            if stalled > 0:
+                self.metrics.mispredict_stalls += stalled
+        self.cycle = goal
+
     # ------------------------------------------------------------------ commit --
     def _commit(self) -> None:
         retired = self.rob.commit_ready(self.config.commit_width, lambda r: r.completed)
@@ -226,7 +342,7 @@ class ClusteredProcessor(SteeringContext):
             self._cluster_inflight[record.cluster] -= 1
             self._uops_in_flight -= 1
             if record.dests:
-                self.regfiles.release(record.cluster, record.dests)
+                self.regfiles.release_counts(record.cluster, record.dest_int, record.dest_fp)
             if record.is_memory:
                 self.lsq.release()
 
@@ -235,6 +351,7 @@ class ClusteredProcessor(SteeringContext):
         records = self._events.pop(self.cycle, None)
         if not records:
             return
+        push_ready = self.issue_queues.push_ready
         for record in records:
             record.completed = True
             if record.is_copy:
@@ -257,33 +374,38 @@ class ClusteredProcessor(SteeringContext):
             for waiter in record.waiters:
                 waiter.pending -= 1
                 if waiter.pending == 0 and not waiter.issued:
-                    self.issue_queues.push_ready(
-                        waiter.cluster, waiter.queue_kind, waiter.order, waiter
+                    push_ready(
+                        waiter.cluster, waiter.queue_kind, waiter.order, waiter,
+                        is_load=waiter.is_load,
                     )
             record.waiters = []
 
     # ------------------------------------------------------------------- issue --
     def _issue(self) -> None:
         config = self.config
+        issue_queues = self.issue_queues
+        if not issue_queues.total_ready:
+            return
         loads_issued = 0
+        read_ports = config.l1_read_ports
         for cluster in range(config.num_clusters):
-            for kind in (IssueQueueKind.INT, IssueQueueKind.FP, IssueQueueKind.COPY):
-                width = self.issue_queues.issue_width(kind)
+            for kind in _ISSUE_KINDS:
+                width = issue_queues.issue_width(kind)
                 issued = 0
-                deferred: List[_InFlight] = []
                 while issued < width:
-                    record = self.issue_queues.pop_ready(cluster, kind)
+                    # Once the shared L1 read ports are saturated, ready
+                    # loads stay on their heap untouched (see DESIGN.md) --
+                    # the selection is identical to popping, deferring and
+                    # requeueing them, without the O(ready-list) churn.
+                    record = issue_queues.pop_ready(
+                        cluster, kind, allow_loads=loads_issued < read_ports
+                    )
                     if record is None:
                         break
-                    if record.is_load and loads_issued >= config.l1_read_ports:
-                        deferred.append(record)
-                        continue
                     self._issue_record(record)
                     issued += 1
                     if record.is_load:
                         loads_issued += 1
-                for record in deferred:
-                    self.issue_queues.requeue_ready(cluster, kind, record.order, record)
 
     def _issue_record(self, record: _InFlight) -> None:
         record.issued = True
@@ -306,63 +428,75 @@ class ClusteredProcessor(SteeringContext):
         self._schedule(self.cycle + max(1, latency), record)
 
     def _schedule(self, when: int, record: _InFlight) -> None:
-        self._events.setdefault(when, []).append(record)
+        bucket = self._events.get(when)
+        if bucket is None:
+            self._events[when] = [record]
+            heapq.heappush(self._event_heap, when)
+        else:
+            bucket.append(record)
 
     # ---------------------------------------------------------------- dispatch --
     def _dispatch(self) -> None:
         config = self.config
+        buffer = self._dispatch_buffer
+        if not buffer:
+            return
+        view = self._view
+        steering = self.steering
         dispatched = 0
-        while dispatched < config.dispatch_width and self._dispatch_buffer:
-            ready_cycle, uop = self._dispatch_buffer[0]
+        while dispatched < config.dispatch_width and buffer:
+            ready_cycle, index = buffer[0]
             if ready_cycle > self.cycle:
                 break
             if self._pending_redirect is not None or self.cycle < self._dispatch_blocked_until:
                 self.metrics.mispredict_stalls += 1
                 break
-            cluster = self.steering.pick_cluster(uop, self)
+            view.index = index
+            cluster = steering.pick_cluster(view, self)
             if cluster is None:
                 self.metrics.steering_stalls += 1
                 break
             if not 0 <= cluster < config.num_clusters:
                 raise ValueError(
-                    f"steering policy {self.steering.name} returned invalid cluster {cluster}"
+                    f"steering policy {steering.name} returned invalid cluster {cluster}"
                 )
-            if not self._try_dispatch(uop, cluster):
+            if not self._try_dispatch(index, cluster):
                 break
-            self._dispatch_buffer.popleft()
+            buffer.popleft()
             dispatched += 1
 
-    def _try_dispatch(self, uop: DynamicUop, cluster: int) -> bool:
-        """Allocate every resource for ``uop`` on ``cluster``; ``False`` stalls dispatch."""
-        config = self.config
-        kind = uop.queue
+    def _try_dispatch(self, index: int, cluster: int) -> bool:
+        """Allocate every resource for µop ``index`` on ``cluster``; ``False`` stalls dispatch."""
+        kind = self._u_queue[index]
         if self.rob.is_full:
             self.metrics.rob_stalls += 1
             return False
-        if uop.is_memory and self.lsq.is_full:
+        is_memory = self._u_is_memory[index]
+        if is_memory and self.lsq.is_full:
             self.metrics.lsq_stalls += 1
             return False
-        if self.issue_queues.free_entries(cluster, kind) <= 0:
+        issue_queues = self.issue_queues
+        if issue_queues.free_entries(cluster, kind) <= 0:
             self.metrics.allocation_stalls[cluster] += 1
             return False
-        if uop.dests and not self.regfiles.can_allocate(cluster, uop.dests):
+        dests = self._u_dests[index]
+        dest_int, dest_fp = self._u_dest_counts[index]
+        if dests and not self.regfiles.can_allocate_counts(cluster, dest_int, dest_fp):
             self.metrics.allocation_stalls[cluster] += 1
             return False
 
         # Plan operand availability and the copies that must be generated.
-        # ``plans`` holds one entry per source operand that is not yet ready in
-        # the target cluster: either an existing record to wait on, or a new
-        # copy that must be created (and for which the source cluster's copy
-        # queue needs a free entry).
+        # ``wait_on``/``new_copies`` hold one entry per *distinct* source
+        # operand that is not yet ready in the target cluster: either an
+        # existing record to wait on, or a new copy that must be created (and
+        # for which the source cluster's copy queue needs a free entry).  The
+        # sources were deduplicated at trace compilation.
+        rename = self.rename
         wait_on: List[_InFlight] = []
         new_copies: List[Tuple[Value, int]] = []  # (value, source cluster)
-        copy_queue_demand: Dict[int, int] = {}
-        seen_regs = set()
-        for reg in uop.srcs:
-            if reg in seen_regs:
-                continue
-            seen_regs.add(reg)
-            value = self.rename.current(reg)
+        copy_queue_demand: Optional[Dict[int, int]] = None
+        for reg in self._u_usrcs[index]:
+            value = rename.current(reg)
             if value.is_ready_in(cluster):
                 continue
             producer = value.producer
@@ -382,21 +516,26 @@ class ClusteredProcessor(SteeringContext):
                     wait_on.append(producer)
                 continue
             new_copies.append((value, source_cluster))
+            if copy_queue_demand is None:
+                copy_queue_demand = {}
             copy_queue_demand[source_cluster] = copy_queue_demand.get(source_cluster, 0) + 1
 
-        for source_cluster, demand in copy_queue_demand.items():
-            if self.issue_queues.free_entries(source_cluster, IssueQueueKind.COPY) < demand:
-                self.metrics.allocation_stalls[source_cluster] += 1
-                return False
+        if copy_queue_demand is not None:
+            for source_cluster, demand in copy_queue_demand.items():
+                if issue_queues.free_entries(source_cluster, IssueQueueKind.COPY) < demand:
+                    self.metrics.allocation_stalls[source_cluster] += 1
+                    return False
 
         # Every resource is available: perform the dispatch.
         record = _InFlight(self._next_order(), cluster, kind)
-        record.uop = uop
-        record.latency = uop.latency
-        record.is_memory = uop.is_memory
-        record.is_load = uop.is_load
-        record.address = uop.address
-        record.dests = uop.dests
+        record.index = index
+        record.latency = self._u_latency[index]
+        record.is_memory = is_memory
+        record.is_load = self._u_is_load[index]
+        record.address = self._u_address[index]
+        record.dests = dests
+        record.dest_int = dest_int
+        record.dest_fp = dest_fp
 
         for value, source_cluster in new_copies:
             copy = self._create_copy(value, source_cluster, cluster)
@@ -406,10 +545,10 @@ class ClusteredProcessor(SteeringContext):
         for dependency in wait_on:
             dependency.waiters.append(record)
 
-        self.issue_queues.allocate(cluster, kind)
-        if uop.dests:
-            self.regfiles.allocate(cluster, uop.dests)
-        if uop.is_memory:
+        issue_queues.allocate(cluster, kind)
+        if dests:
+            self.regfiles.allocate_counts(cluster, dest_int, dest_fp)
+        if is_memory:
             self.lsq.allocate()
         self.rob.allocate(record)
         self._cluster_inflight[cluster] += 1
@@ -417,18 +556,18 @@ class ClusteredProcessor(SteeringContext):
         self.metrics.dispatched_uops += 1
         self.metrics.cluster_dispatch[cluster] += 1
 
-        for reg in uop.dests:
-            value = self.rename.define(reg, record, cluster)
+        for reg in dests:
+            value = rename.define(reg, record, cluster)
             record.dest_values.append(value)
 
-        if uop.is_branch:
+        if self._u_is_branch[index]:
             self.metrics.branches += 1
-            if uop.mispredicted and self.config.model_branch_mispredictions:
+            if self._u_mispredicted[index] and self.config.model_branch_mispredictions:
                 self.metrics.mispredictions += 1
                 self._pending_redirect = record
 
         if record.pending == 0:
-            self.issue_queues.push_ready(cluster, kind, record.order, record)
+            issue_queues.push_ready(cluster, kind, record.order, record, is_load=record.is_load)
         return True
 
     def _create_copy(self, value: Value, source_cluster: int, target_cluster: int) -> _InFlight:
@@ -457,27 +596,27 @@ class ClusteredProcessor(SteeringContext):
 
     # ------------------------------------------------------------------- fetch --
     def _fetch(self) -> None:
-        if self._trace_exhausted or self._trace_iter is None:
+        if self._trace_exhausted:
             return
         config = self.config
+        buffer = self._dispatch_buffer
+        cap = self._dispatch_buffer_cap
+        position = self._fetch_pos
+        total = self._num_uops
+        ready_cycle = self.cycle + config.fetch_to_dispatch_latency
         fetched = 0
-        while (
-            fetched < config.fetch_width
-            and len(self._dispatch_buffer) < self._dispatch_buffer_cap
-        ):
-            try:
-                uop = next(self._trace_iter)
-            except StopIteration:
+        while fetched < config.fetch_width and len(buffer) < cap:
+            if position >= total:
                 self._trace_exhausted = True
                 break
-            self._dispatch_buffer.append(
-                (self.cycle + config.fetch_to_dispatch_latency, uop)
-            )
+            buffer.append((ready_cycle, position))
+            position += 1
             fetched += 1
+        self._fetch_pos = position
 
 
 def simulate_trace(
-    trace: Sequence[DynamicUop],
+    trace: Union[CompiledTrace, Sequence[DynamicUop]],
     steering: SteeringPolicy,
     config: Optional[ClusterConfig] = None,
     register_space: RegisterSpace = DEFAULT_REGISTER_SPACE,
@@ -488,7 +627,9 @@ def simulate_trace(
     Parameters
     ----------
     trace:
-        Dynamic µops, in program order.
+        Dynamic µops in program order -- a
+        :class:`~repro.uops.compiled.CompiledTrace` or a ``DynamicUop``
+        sequence (compiled on entry).
     steering:
         Run-time steering policy.
     config:

@@ -51,6 +51,31 @@ class RegisterFiles:
                 need_fp += 1
         return self._free_int[cluster] >= need_int and self._free_fp[cluster] >= need_fp
 
+    # -- count-based fast paths ------------------------------------------------
+    # The compiled-trace kernel classifies every destination register once at
+    # trace compilation (see CompiledTrace.dest_kind_counts) and then moves
+    # plain (int, fp) counts through dispatch and commit, skipping the
+    # per-register kind_of() classification in the hot loop.
+    def can_allocate_counts(self, cluster: int, need_int: int, need_fp: int) -> bool:
+        """True when ``need_int`` INT and ``need_fp`` FP registers are free."""
+        return self._free_int[cluster] >= need_int and self._free_fp[cluster] >= need_fp
+
+    def allocate_counts(self, cluster: int, need_int: int, need_fp: int) -> None:
+        """Claim registers by kind count (caller checked :meth:`can_allocate_counts`)."""
+        if self._free_int[cluster] < need_int or self._free_fp[cluster] < need_fp:
+            raise RuntimeError("physical register file underflow")
+        self._free_int[cluster] -= need_int
+        self._free_fp[cluster] -= need_fp
+
+    def release_counts(self, cluster: int, need_int: int, need_fp: int) -> None:
+        """Return registers by kind count (at commit)."""
+        free_int = self._free_int[cluster] + need_int
+        free_fp = self._free_fp[cluster] + need_fp
+        if free_int > self.config.regfile_int_size or free_fp > self.config.regfile_fp_size:
+            raise RuntimeError("physical register file overflow on release")
+        self._free_int[cluster] = free_int
+        self._free_fp[cluster] = free_fp
+
     def allocate(self, cluster: int, dests) -> None:
         """Claim physical registers for ``dests`` (caller checked :meth:`can_allocate`)."""
         for reg in dests:

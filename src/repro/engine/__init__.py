@@ -21,10 +21,17 @@ the cache-replay path:
     figure runs and overlapping ablation sweeps skip already-simulated
     points; integer counters survive the JSON round trip bit-for-bit.
 
+``TraceArtifactStore`` (:mod:`repro.engine.artifacts`)
+    Content-addressed on-disk store of compiled trace artifacts
+    (:class:`~repro.uops.compiled.CompiledTrace` columns plus the pickled
+    static program) keyed by :meth:`SimulationJob.trace_key`.  Workers load
+    phase traces instead of regenerating them; every configuration of a
+    phase shares one artifact.
+
 ``ParallelRunner`` (:mod:`repro.engine.parallel`)
     Expands nothing and decides nothing about results -- it only chooses
     where jobs run (inline for ``max_workers=1``, else a
-    ``ProcessPoolExecutor``) and consults the cache first.
+    ``ProcessPoolExecutor``) and consults the caches first.
 
 Determinism contract
 --------------------
@@ -32,8 +39,9 @@ Serial, parallel and cache-replay runs of the same experiment are
 **bit-identical**, enforced by ``tests/test_engine_determinism.py``:
 
 * trace generation is fully seeded by ``(profile, phase)``; worker processes
-  regenerate the identical trace from the job description rather than
-  receiving pickled µops,
+  load the identical compiled trace from the shared artifact store (or
+  regenerate it from the job description when artifacts are disabled) rather
+  than receiving pickled µops,
 * the cycle-level simulator contains no randomness of its own,
 * per-phase metrics are integers (plus deterministic floats) that round-trip
   losslessly through the cache, and
@@ -43,20 +51,25 @@ Serial, parallel and cache-replay runs of the same experiment are
 
 The experiment harness (:class:`~repro.experiments.runner.ExperimentRunner`,
 the figure drivers and the ablation sweeps) routes all simulation through
-this engine; ``repro.cli`` exposes it as ``--jobs N``, ``--cache-dir PATH``
-and ``--no-cache`` on every experiment command.
+this engine; ``repro.cli`` exposes it as ``--jobs N``, ``--cache-dir PATH``,
+``--no-cache``, ``--trace-dir PATH`` and ``--no-trace-artifacts`` on every
+experiment command.
 """
 
 from __future__ import annotations
 
+from repro.engine.artifacts import TRACE_ARTIFACT_VERSION, TraceArtifactStore
 from repro.engine.cache import ResultCache
 from repro.engine.job import CACHE_SCHEMA_VERSION, SimulationJob
-from repro.engine.parallel import ParallelRunner, execute_job
+from repro.engine.parallel import AUTO_TRACE_ROOT, ParallelRunner, execute_job
 
 __all__ = [
+    "AUTO_TRACE_ROOT",
     "CACHE_SCHEMA_VERSION",
+    "TRACE_ARTIFACT_VERSION",
     "ParallelRunner",
     "ResultCache",
     "SimulationJob",
+    "TraceArtifactStore",
     "execute_job",
 ]

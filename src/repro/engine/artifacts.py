@@ -1,0 +1,124 @@
+"""Content-addressed on-disk store of compiled trace artifacts.
+
+Trace generation -- synthesising the static program and expanding the
+dynamic µop stream -- is the second-most expensive step of a simulation job
+after the simulation itself, and it is *shared*: every configuration of a
+``(benchmark, phase)`` pair consumes the exact same stream (the paper's
+methodology).  :class:`TraceArtifactStore` makes that stream a durable
+artifact: one ``.npz`` file per :meth:`SimulationJob.trace_key
+<repro.engine.job.SimulationJob.trace_key>`, holding the
+:class:`~repro.uops.compiled.CompiledTrace` columns plus the pickled static
+program, stored under ``<root>/<key[:2]>/<key>.npz``.  Parallel workers (and
+later invocations, sweeps, figure reruns) load the artifact instead of
+regenerating the trace; the per-process ``_TRACE_MEMO`` in
+:mod:`repro.engine.parallel` is just a thin in-memory layer over this store.
+
+Trace artifacts are independent of the steering configuration by design:
+annotation columns are refreshed per job via
+:meth:`CompiledTrace.annotate_from`, and the µop-class-derived columns
+(latency, queue routing) are recomputed on load, so neither compiler passes
+nor opcode-table edits can stale an artifact.  What *does* invalidate them
+-- changes to the workload synthesis itself -- is exactly what
+:meth:`trace_key` covers (profile, phase, length, register space and the
+engine schema version), plus this module's :data:`TRACE_ARTIFACT_VERSION`
+for layout changes.
+
+Writes are atomic (temporary sibling + ``os.replace``) so concurrent workers
+sharing one cache directory race benignly; corrupt, truncated or
+version-mismatched files are treated as misses and rewritten.
+
+Security note: the program half of an artifact is a pickle, so artifacts are
+trusted local cache state (the same trust level as the result cache), not an
+interchange format.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+import zipfile
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.program.program import Program
+from repro.uops.compiled import CompiledTrace
+
+#: Bump when the artifact layout changes (stored columns, program pickling).
+TRACE_ARTIFACT_VERSION = 1
+
+
+class TraceArtifactStore:
+    """Directory-backed map from trace keys to ``(program, compiled trace)``.
+
+    Parameters
+    ----------
+    root:
+        Artifact directory; created on first write.  The engine defaults to
+        ``<result-cache>/traces`` so one ``--cache-dir`` governs both caches.
+
+    Attributes
+    ----------
+    hits / misses / stores:
+        Running counters, exposed for the CLI footer and the tests.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root).expanduser()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.npz"
+
+    def get(self, key: str) -> Optional[Tuple[Program, CompiledTrace]]:
+        """Load the artifact for ``key``, or ``None`` on any kind of miss."""
+        path = self._path(key)
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                if int(data["artifact_version"][0]) != TRACE_ARTIFACT_VERSION:
+                    raise ValueError("trace artifact version mismatch")
+                trace = CompiledTrace(
+                    **{name: data[name] for name in CompiledTrace.STORED_FIELDS}
+                )
+                program = pickle.loads(data["program_pickle"].tobytes())
+        except (OSError, ValueError, KeyError, TypeError, EOFError, IndexError,
+                AttributeError, ImportError, zipfile.BadZipFile,
+                pickle.UnpicklingError):
+            # Missing, corrupt, truncated or incompatible artifact: a miss.
+            # IndexError covers out-of-range opclass codes hitting the derived
+            # lookup tables; AttributeError/ImportError cover program pickles
+            # written by builds whose classes have since moved or changed.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return program, trace
+
+    def put(self, key: str, program: Program, trace: CompiledTrace) -> None:
+        """Store ``(program, trace)`` under ``key`` (atomic, last-writer-wins)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {name: getattr(trace, name) for name in CompiledTrace.STORED_FIELDS}
+        payload["program_pickle"] = np.frombuffer(
+            pickle.dumps(program, protocol=pickle.HIGHEST_PROTOCOL), dtype=np.uint8
+        )
+        payload["artifact_version"] = np.array([TRACE_ARTIFACT_VERSION], dtype=np.int64)
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.savez_compressed(handle, **payload)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/store counters as a plain dictionary."""
+        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}

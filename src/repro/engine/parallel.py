@@ -8,56 +8,120 @@ is deterministic, the same job produces bit-identical metrics in either mode;
 :class:`ParallelRunner` only decides *where* jobs run and consults the
 optional result cache, never *what* they compute.
 
-Each process keeps a small memo of generated ``(program, trace)`` pairs keyed
-by :meth:`SimulationJob.trace_key`, mirroring the trace sharing of the old
-serial runner: all configurations of one phase see the exact same dynamic µop
-stream without regenerating it per job.
+Traces move through two cache layers.  The durable layer is the
+content-addressed :class:`~repro.engine.artifacts.TraceArtifactStore`:
+compiled traces (plus their static programs) persisted as ``.npz`` artifacts
+keyed by :meth:`SimulationJob.trace_key`, shared by every worker process,
+every configuration of a phase and every later invocation.  On top of it
+each process keeps a small in-memory memo (``_TRACE_MEMO``) so the jobs of
+one batch do not even touch the filesystem twice.  Loading an artifact is an
+order of magnitude cheaper than regenerating the trace, and with artifacts
+disabled the memo alone reproduces the old regenerate-per-process behaviour.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, List, Optional, Sequence, Tuple
+from functools import partial
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.cluster.metrics import SimulationMetrics
 from repro.cluster.processor import ClusteredProcessor
+from repro.engine.artifacts import TraceArtifactStore
 from repro.engine.cache import ResultCache
 from repro.engine.job import SimulationJob
 from repro.workloads.generator import WorkloadGenerator
 
-#: Per-process ``trace_key -> (program, trace)`` memo.  Bounded so a full
-#: 40-trace suite cannot hold every generated trace alive at once.
-_TRACE_MEMO: "OrderedDict[str, Tuple[object, list]]" = OrderedDict()
+class _AutoTraceRoot:
+    """Unique sentinel type for :data:`AUTO_TRACE_ROOT` (compared by identity,
+    so a directory literally named ``"auto"`` is still a valid path)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "AUTO_TRACE_ROOT"
+
+
+#: Sentinel for :class:`ParallelRunner`'s ``trace_root``: derive the artifact
+#: directory from the result cache (``<cache root>/traces``).
+AUTO_TRACE_ROOT = _AutoTraceRoot()
+
+#: Per-process ``(trace root, trace_key) -> (program, compiled trace)`` memo.
+#: Keyed by the artifact root as well so a memo entry produced with artifacts
+#: disabled can never satisfy (and silently skip populating) a later run that
+#: requested a store.  Bounded so a full 40-trace suite cannot hold every
+#: generated trace alive at once.
+_TRACE_MEMO: "OrderedDict[Tuple[Optional[str], str], Tuple[object, object]]" = OrderedDict()
 _TRACE_MEMO_CAP = 16
 
+#: Per-process artifact-store instances, one per root directory, so one
+#: worker reuses a single set of hit/miss counters across its jobs.
+_STORES: Dict[str, TraceArtifactStore] = {}
 
-def _trace_for(job: SimulationJob):
-    """Generate (or reuse) the program and dynamic trace of ``job``'s phase."""
-    key = job.trace_key()
-    cached = _TRACE_MEMO.get(key)
+
+def trace_store_for(root: Union[str, Path, None]) -> Optional[TraceArtifactStore]:
+    """The per-process :class:`TraceArtifactStore` for ``root`` (``None`` -> none)."""
+    if root is None:
+        return None
+    key = str(root)
+    store = _STORES.get(key)
+    if store is None:
+        store = TraceArtifactStore(key)
+        _STORES[key] = store
+    return store
+
+
+def _trace_for(
+    job: SimulationJob,
+    trace_root: Optional[str] = None,
+    store: Optional[TraceArtifactStore] = None,
+):
+    """The program and compiled trace of ``job``'s phase: memo, store, or fresh.
+
+    Lookup order is memo -> artifact store -> generate (and then populate
+    both layers), so within a process each phase trace is produced at most
+    once and across processes at most one worker pays for generation.  An
+    explicit ``store`` overrides the per-process registry (serial runs pass
+    their runner's own instance so its counters stay per-runner).
+    """
+    if store is None:
+        store = trace_store_for(trace_root)
+    root_key = str(store.root) if store is not None else None
+    trace_key = job.trace_key()
+    memo_key = (root_key, trace_key)
+    cached = _TRACE_MEMO.get(memo_key)
     if cached is not None:
-        _TRACE_MEMO.move_to_end(key)
+        _TRACE_MEMO.move_to_end(memo_key)
         return cached
-    generator = WorkloadGenerator(job.profile, register_space=job.register_space)
-    program, trace = generator.generate_trace(job.trace_length, phase=job.phase)
-    _TRACE_MEMO[key] = (program, trace)
+    entry = store.get(trace_key) if store is not None else None
+    if entry is None:
+        generator = WorkloadGenerator(job.profile, register_space=job.register_space)
+        program, compiled = generator.generate_compiled_trace(job.trace_length, phase=job.phase)
+        entry = (program, compiled)
+        if store is not None:
+            store.put(trace_key, program, compiled)
+    _TRACE_MEMO[memo_key] = entry
     while len(_TRACE_MEMO) > _TRACE_MEMO_CAP:
         _TRACE_MEMO.popitem(last=False)
-    return program, trace
+    return entry
 
 
-def execute_job(job: SimulationJob) -> Dict[str, object]:
+def execute_job(
+    job: SimulationJob,
+    trace_root: Optional[str] = None,
+    trace_store: Optional[TraceArtifactStore] = None,
+) -> Dict[str, object]:
     """Run one simulation job and return the lossless metrics dump.
 
     This is the engine's only execution path; it reproduces the serial
-    runner's per-phase sequence exactly: build/reuse the phase trace,
+    runner's per-phase sequence exactly: load/build the compiled phase trace,
     annotate the program with the configuration's compile-time pass (or clear
-    stale annotations for hardware-only schemes), instantiate the run-time
-    policy and the machine, simulate.  The dict return type keeps the
-    cross-process payload plain (cheap to pickle, schema-checked on rebuild).
+    stale annotations for hardware-only schemes), scatter the annotations
+    into the compiled trace, instantiate the run-time policy and the machine,
+    simulate.  The dict return type keeps the cross-process payload plain
+    (cheap to pickle, schema-checked on rebuild).
     """
-    program, trace = _trace_for(job)
+    program, compiled = _trace_for(job, trace_root, trace_store)
     configuration = job.configuration
     partitioner = configuration.make_partitioner(
         job.num_clusters, job.num_virtual_clusters, job.region_size
@@ -66,9 +130,10 @@ def execute_job(job: SimulationJob) -> Dict[str, object]:
         partitioner.annotate_program(program)
     else:
         program.clear_annotations()
+    compiled.annotate_from(program)
     policy = configuration.make_policy(job.num_clusters, job.num_virtual_clusters)
     processor = ClusteredProcessor(job.machine_config(), policy, job.register_space)
-    return processor.run(trace).to_dict()
+    return processor.run(compiled).to_dict()
 
 
 class ParallelRunner:
@@ -83,23 +148,51 @@ class ParallelRunner:
     cache:
         Optional :class:`~repro.engine.cache.ResultCache`; hits skip
         simulation entirely, results of fresh runs are stored back.
+    trace_root:
+        Directory of the on-disk compiled-trace artifacts shared by the
+        workers.  :data:`AUTO_TRACE_ROOT` (the default) places it next to the
+        result cache (``<cache root>/traces``) and disables artifacts when
+        there is no cache; ``None`` disables artifacts explicitly (workers
+        regenerate traces from their seeds, as before).
     """
 
-    def __init__(self, max_workers: int = 1, cache: Optional[ResultCache] = None) -> None:
+    def __init__(
+        self,
+        max_workers: int = 1,
+        cache: Optional[ResultCache] = None,
+        trace_root: Union[str, Path, None] = AUTO_TRACE_ROOT,
+    ) -> None:
         if max_workers < 1:
             raise ValueError("max_workers must be at least 1")
         self.max_workers = max_workers
         self.cache = cache
+        if trace_root is AUTO_TRACE_ROOT:
+            trace_root = cache.root / "traces" if cache is not None else None
+        self.trace_root: Optional[str] = None if trace_root is None else str(trace_root)
+        self._trace_store: Optional[TraceArtifactStore] = (
+            TraceArtifactStore(self.trace_root) if self.trace_root is not None else None
+        )
         self._pool: Optional[ProcessPoolExecutor] = None
+
+    @property
+    def trace_store(self) -> Optional[TraceArtifactStore]:
+        """This runner's trace artifact store (``None`` if disabled).
+
+        A per-runner instance (not the per-process worker registry), so its
+        hit/miss counters describe exactly this runner's serial traffic --
+        like the result cache's counters.  Parallel runs touch the store
+        from the worker processes, which keep their own counters.
+        """
+        return self._trace_store
 
     def _get_pool(self) -> ProcessPoolExecutor:
         """The worker pool, created lazily and reused across :meth:`run` calls.
 
         Reuse matters for batched callers like the ablation sweeps: one
         shared engine then pays pool start-up (and, under the ``spawn`` start
-        method, worker-side trace regeneration) once instead of per sweep
-        point.  Idle workers are reclaimed by the interpreter's exit handler;
-        call :meth:`shutdown` to release them earlier.
+        method, worker-side trace loading) once instead of per sweep point.
+        Idle workers are reclaimed by the interpreter's exit handler; call
+        :meth:`shutdown` to release them earlier.
         """
         if self._pool is None:
             self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
@@ -133,18 +226,26 @@ class ParallelRunner:
 
         if pending:
             if self.max_workers == 1 or len(pending) == 1:
-                dumps = [execute_job(jobs[index]) for index in pending]
+                dumps = [
+                    execute_job(
+                        jobs[index],
+                        trace_root=self.trace_root,
+                        trace_store=self._trace_store,
+                    )
+                    for index in pending
+                ]
             else:
                 # Sort so jobs sharing a trace are adjacent and chunk the map
                 # accordingly: a worker then receives a phase's configurations
-                # together and generates the trace once (the per-process memo
-                # does the rest).  Results stay index-aligned via `pending`.
+                # together and loads (or generates and stores) the compiled
+                # trace once -- the per-process memo and the shared artifact
+                # store do the rest.  Results stay index-aligned via `pending`.
                 pending.sort(key=lambda index: (jobs[index].trace_key(), index))
                 chunksize = max(1, len(pending) // (self.max_workers * 4))
                 pool = self._get_pool()
                 dumps = list(
                     pool.map(
-                        execute_job,
+                        partial(execute_job, trace_root=self.trace_root),
                         [jobs[index] for index in pending],
                         chunksize=chunksize,
                     )

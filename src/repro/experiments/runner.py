@@ -24,7 +24,7 @@ from repro.cluster.config import ClusterConfig
 from repro.cluster.metrics import SimulationMetrics
 from repro.engine.cache import ResultCache
 from repro.engine.job import SimulationJob
-from repro.engine.parallel import ParallelRunner
+from repro.engine.parallel import AUTO_TRACE_ROOT, ParallelRunner
 from repro.experiments.configs import SteeringConfiguration
 from repro.uops.registers import DEFAULT_REGISTER_SPACE, RegisterSpace
 from repro.workloads.generator import BenchmarkProfile
@@ -119,10 +119,16 @@ class ExperimentRunner:
         inline in this process.  Any value produces bit-identical results.
     cache_dir:
         Directory for the on-disk result cache; ``None`` disables caching.
+    trace_dir:
+        Directory for the on-disk compiled-trace artifacts workers load
+        instead of regenerating phase traces.  The default derives it from
+        the result cache (``<cache_dir>/traces``; no artifacts without a
+        cache); ``None`` disables artifacts explicitly.
     engine:
         Pre-built :class:`~repro.engine.parallel.ParallelRunner` to use
-        instead of constructing one from ``jobs`` / ``cache_dir`` (lets
-        several runners share one cache and its statistics).
+        instead of constructing one from ``jobs`` / ``cache_dir`` /
+        ``trace_dir`` (lets several runners share one cache and its
+        statistics).
     """
 
     def __init__(
@@ -131,13 +137,14 @@ class ExperimentRunner:
         register_space: RegisterSpace = DEFAULT_REGISTER_SPACE,
         jobs: int = 1,
         cache_dir: Optional[str] = None,
+        trace_dir: Optional[str] = AUTO_TRACE_ROOT,
         engine: Optional[ParallelRunner] = None,
     ) -> None:
         self.settings = settings or ExperimentSettings()
         self.register_space = register_space
         if engine is None:
             cache = ResultCache(cache_dir) if cache_dir is not None else None
-            engine = ParallelRunner(max_workers=jobs, cache=cache)
+            engine = ParallelRunner(max_workers=jobs, cache=cache, trace_root=trace_dir)
         self.engine = engine
 
     # -- job expansion ----------------------------------------------------------------

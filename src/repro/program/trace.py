@@ -13,7 +13,16 @@ a seeded random generator:
 * branch µops are occasionally flagged as mispredicted, which the front end
   of the simulator turns into fetch redirect penalties.
 
-Everything is reproducible from the ``seed``.
+Everything is reproducible from the ``seed``.  Both output forms share one
+seeded CFG walk: :meth:`TraceGenerator.generate` materialises
+:class:`~repro.uops.uop.DynamicUop` objects referencing the program's static
+instructions (annotations stay shared by reference), while
+:meth:`TraceGenerator.generate_compiled` emits a
+:class:`~repro.uops.compiled.CompiledTrace` directly -- per-instruction facts
+are gathered once per static instruction and scattered across the dynamic
+stream, so no per-µop Python object is ever created on the fast path.  The
+two forms are interchangeable: ``generate_compiled(n)`` equals
+``compile_trace(generate(n))`` for the same seed.
 """
 
 from __future__ import annotations
@@ -23,7 +32,9 @@ from typing import Dict, Iterator, List, Optional
 
 import numpy as np
 
+from repro.program.basic_block import BasicBlock
 from repro.program.program import Program
+from repro.uops.compiled import NO_ANNOTATION, CompiledTrace
 from repro.uops.uop import DynamicUop, StaticInstruction
 
 #: Cache line size assumed by the address model (bytes).
@@ -121,22 +132,40 @@ class TraceGenerator:
         return edges[choice].dst
 
     # -- expansion ---------------------------------------------------------------
+    def _walk_blocks(self, num_uops: int) -> Iterator[BasicBlock]:
+        """The seeded CFG walk shared by both trace forms.
+
+        Yields basic blocks until at least ``num_uops`` instructions have
+        been covered (the trace always ends at a block boundary).  Both
+        :meth:`generate` and :meth:`generate_compiled` consume this walk and
+        draw their per-µop randomness in the same order, which is what makes
+        the two forms bit-identical for one seed.
+        """
+        count = 0
+        bid = self.program.cfg.entry
+        guard = 0
+        max_blocks = num_uops * 4 + 16  # guard against degenerate CFGs with empty blocks
+        while count < num_uops and guard < max_blocks:
+            guard += 1
+            block = self.program.block(bid)
+            yield block
+            count += len(block.instructions)
+            bid = self._next_block(bid)
+
     def generate(self, num_uops: int) -> List[DynamicUop]:
         """Produce a trace of approximately ``num_uops`` dynamic µops.
 
         The trace always ends at a basic-block boundary, so the length may
-        exceed ``num_uops`` by at most one block.
+        exceed ``num_uops`` by at most one block.  The returned µops share
+        the program's :class:`StaticInstruction` instances, so compiler
+        annotations applied to the program after expansion are visible
+        through the trace.
         """
         if num_uops < 1:
             raise ValueError("num_uops must be positive")
         trace: List[DynamicUop] = []
-        bid = self.program.cfg.entry
         seq = 0
-        guard = 0
-        max_blocks = num_uops * 4 + 16  # guard against degenerate CFGs with empty blocks
-        while len(trace) < num_uops and guard < max_blocks:
-            guard += 1
-            block = self.program.block(bid)
+        for block in self._walk_blocks(num_uops):
             for inst in block.instructions:
                 address = self._address_for(inst) if inst.is_memory else 0
                 mispredicted = bool(
@@ -144,10 +173,54 @@ class TraceGenerator:
                 )
                 trace.append(DynamicUop(seq, inst, address=address, mispredicted=mispredicted))
                 seq += 1
-            bid = self._next_block(bid)
         if not trace:
             raise ValueError("trace expansion produced no µops (empty program?)")
         return trace
+
+    def generate_compiled(self, num_uops: int) -> CompiledTrace:
+        """Expand directly to a :class:`~repro.uops.compiled.CompiledTrace`.
+
+        Identical stream to :meth:`generate` (same walk, same per-µop
+        randomness), but no ``DynamicUop`` objects are created: the walk
+        only records ``(sid, address, mispredict)`` and every static fact is
+        gathered per distinct instruction afterwards.
+        """
+        if num_uops < 1:
+            raise ValueError("num_uops must be positive")
+        sids: List[int] = []
+        addresses: List[int] = []
+        mispredicted: List[bool] = []
+        rng_random = self._rng.random
+        rate = self.mispredict_rate
+        address_for = self._address_for
+        for block in self._walk_blocks(num_uops):
+            for inst in block.instructions:
+                sids.append(inst.sid)
+                addresses.append(address_for(inst) if inst.is_memory else 0)
+                mispredicted.append(bool(inst.is_branch and rng_random() < rate))
+        if not sids:
+            raise ValueError("trace expansion produced no µops (empty program?)")
+        # Gather the static columns once per instruction, scatter per µop.
+        by_sid: Dict[int, StaticInstruction] = {}
+        for block in self.program.blocks.values():
+            for inst in block.instructions:
+                by_sid[inst.sid] = inst
+        statics = [by_sid[sid] for sid in sids]
+        return CompiledTrace.from_columns(
+            sids=sids,
+            opclasses=[int(inst.opclass) for inst in statics],
+            srcs=[inst.srcs for inst in statics],
+            dests=[inst.dests for inst in statics],
+            blocks=[inst.block for inst in statics],
+            addresses=addresses,
+            mispredicted=mispredicted,
+            vc_ids=[NO_ANNOTATION if inst.vc_id is None else int(inst.vc_id) for inst in statics],
+            chain_leaders=[bool(inst.chain_leader) for inst in statics],
+            static_clusters=[
+                NO_ANNOTATION if inst.static_cluster is None else int(inst.static_cluster)
+                for inst in statics
+            ],
+        )
 
     def iterate(self, num_uops: int) -> Iterator[DynamicUop]:
         """Iterator variant of :meth:`generate` (materialises the list once)."""
@@ -172,3 +245,23 @@ def expand_trace(
         mispredict_rate=mispredict_rate,
     )
     return generator.generate(num_uops)
+
+
+def expand_compiled_trace(
+    program: Program,
+    num_uops: int,
+    seed: int = 0,
+    address_model: Optional[AddressModel] = None,
+    mispredict_rate: float = 0.02,
+) -> CompiledTrace:
+    """Convenience wrapper around :meth:`TraceGenerator.generate_compiled`.
+
+    See :class:`TraceGenerator` for parameter semantics.
+    """
+    generator = TraceGenerator(
+        program,
+        seed=seed,
+        address_model=address_model,
+        mispredict_rate=mispredict_rate,
+    )
+    return generator.generate_compiled(num_uops)

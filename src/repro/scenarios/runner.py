@@ -24,7 +24,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.engine.cache import ResultCache
-from repro.engine.parallel import ParallelRunner
+from repro.engine.parallel import AUTO_TRACE_ROOT, ParallelRunner
 from repro.experiments.ablations import aggregate_suite
 from repro.experiments.figure5 import run_figure5
 from repro.experiments.figure6 import run_figure6
@@ -44,6 +44,7 @@ def run_scenario(
     engine: Optional[ParallelRunner] = None,
     jobs: int = 1,
     cache_dir: Optional[str] = None,
+    trace_dir: Optional[str] = AUTO_TRACE_ROOT,
 ) -> str:
     """Execute ``spec`` and return its report text.
 
@@ -53,15 +54,19 @@ def run_scenario(
         The scenario to run.
     engine:
         Pre-built engine to use (lets callers share one worker pool and
-        cache across scenarios); built from ``jobs`` / ``cache_dir`` when
-        omitted.
+        cache across scenarios); built from ``jobs`` / ``cache_dir`` /
+        ``trace_dir`` when omitted.
     jobs / cache_dir:
         Engine knobs when no engine is passed: worker processes (results are
         bit-identical for any count) and the optional on-disk result cache.
+    trace_dir:
+        Directory of the shared compiled-trace artifacts (see
+        :class:`~repro.engine.artifacts.TraceArtifactStore`).  Defaults to
+        ``<cache_dir>/traces``; pass ``None`` to regenerate traces instead.
     """
     if engine is None:
         cache = ResultCache(cache_dir) if cache_dir is not None else None
-        engine = ParallelRunner(max_workers=jobs, cache=cache)
+        engine = ParallelRunner(max_workers=jobs, cache=cache, trace_root=trace_dir)
     handler = REPORT_KINDS.get(spec.report)
     return handler(spec, engine)
 

@@ -14,7 +14,17 @@ microarchitecture simulator (:mod:`repro.cluster`):
 * :mod:`repro.uops.encoding` -- the ISA extension of the paper: the
   ``vc_id`` / chain-leader annotation carried from the compiler to the
   hardware steering unit, including a compact binary encoding.
+* :mod:`repro.uops.compiled` -- :class:`CompiledTrace`, the
+  structure-of-arrays form of a dynamic trace that the simulation kernel
+  consumes and the engine persists as on-disk artifacts (see DESIGN.md).
 """
+
+from repro.uops.compiled import (
+    NO_ANNOTATION,
+    CompiledTrace,
+    CompiledUopView,
+    compile_trace,
+)
 
 from repro.uops.opcodes import (
     UopClass,
@@ -47,6 +57,10 @@ __all__ = [
     "RegisterKind",
     "StaticInstruction",
     "DynamicUop",
+    "CompiledTrace",
+    "CompiledUopView",
+    "compile_trace",
+    "NO_ANNOTATION",
     "SteeringAnnotation",
     "encode_annotation",
     "decode_annotation",

@@ -1,0 +1,625 @@
+"""Compiled µop traces: a structure-of-arrays intermediate representation.
+
+:class:`CompiledTrace` is the simulator-facing form of a dynamic µop stream.
+Where a list of :class:`~repro.uops.uop.DynamicUop` re-derives per-µop facts
+(issue queue, latency, memory flags, deduplicated sources) through Python
+property indirection on every dispatch, a compiled trace precomputes all of
+them once into flat numpy arrays -- the same hoist-everything-loop-invariant
+discipline the preconditioned-solver kernels in SNIPPETS.md apply: the inner
+loop should only ever index, never recompute (see DESIGN.md).
+
+The representation has three layers:
+
+* **stored columns** (numpy arrays, one element per µop): sequence number,
+  static id, basic block, µop class, effective address, mispredict bit, the
+  steering annotations (``vc_id`` / ``chain_leader`` / ``static_cluster``,
+  with ``-1`` encoding "unannotated"), and CSR-style (offsets + flat values)
+  source/destination register lists.  These are exactly what
+  :meth:`CompiledTrace.save` persists, so on-disk trace artifacts stay small
+  and independent of the latency/queue tables.
+* **derived columns**, recomputed from the µop class at construction time
+  via vectorised table lookups: issue-queue kind, functional-unit latency and
+  the memory/load/store/branch flags.  Editing
+  :mod:`repro.uops.opcodes` therefore never stales an on-disk artifact.
+* **hot-path caches**: plain Python lists/tuples materialised lazily from
+  the arrays (``latency_list`` and friends).  The simulator's inner loops
+  index these lists -- scalar indexing of numpy arrays allocates a numpy
+  scalar per access and is *slower* than list indexing in pure Python, so
+  the arrays are the storage format and the lists are the execution format.
+
+Losslessness: ``compile_trace(trace).materialize()`` rebuilds an equivalent
+``DynamicUop`` list (shared static instructions reconstructed per ``sid``),
+and ``compile_trace(materialize(c))`` equals ``c`` array-for-array -- the
+round-trip property the test suite pins.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.uops.opcodes import (
+    IssueQueueKind,
+    UopClass,
+    is_branch,
+    is_floating_point,
+    is_memory,
+    latency_of,
+    queue_of,
+)
+from repro.uops.uop import DynamicUop, StaticInstruction
+
+#: Sentinel used in the ``vc_id`` / ``static_cluster`` columns for "no
+#: annotation" (the object model uses ``None``).
+NO_ANNOTATION = -1
+
+#: Vectorised per-class lookup tables (index = UopClass value).
+_LATENCY_TABLE = np.array([latency_of(c) for c in UopClass], dtype=np.int32)
+_QUEUE_TABLE = np.array([int(queue_of(c)) for c in UopClass], dtype=np.int8)
+_MEMORY_TABLE = np.array([is_memory(c) for c in UopClass], dtype=bool)
+_LOAD_TABLE = np.array([c == UopClass.LOAD for c in UopClass], dtype=bool)
+_STORE_TABLE = np.array([c == UopClass.STORE for c in UopClass], dtype=bool)
+_BRANCH_TABLE = np.array([is_branch(c) for c in UopClass], dtype=bool)
+_FP_TABLE = np.array([is_floating_point(c) for c in UopClass], dtype=bool)
+
+#: Singleton enum members, indexable by the integer class/queue codes.
+_UOP_CLASSES = list(UopClass)
+_QUEUE_KINDS = list(IssueQueueKind)
+
+
+def _csr(rows: Sequence[Tuple[int, ...]]) -> Tuple[np.ndarray, np.ndarray]:
+    """Pack variable-length integer rows into (offsets, flat values) arrays."""
+    lengths = np.fromiter((len(row) for row in rows), dtype=np.int64, count=len(rows))
+    offsets = np.zeros(len(rows) + 1, dtype=np.int64)
+    np.cumsum(lengths, out=offsets[1:])
+    flat = np.fromiter(
+        (reg for row in rows for reg in row), dtype=np.int32, count=int(offsets[-1])
+    )
+    return offsets, flat
+
+
+def _uncsr(offsets: np.ndarray, flat: np.ndarray) -> List[Tuple[int, ...]]:
+    """Unpack CSR arrays back into a list of tuples of Python ints."""
+    bounds = offsets.tolist()
+    values = flat.tolist()
+    return [tuple(values[bounds[i]:bounds[i + 1]]) for i in range(len(bounds) - 1)]
+
+
+def _dedup(row: Tuple[int, ...]) -> Tuple[int, ...]:
+    """First-occurrence deduplication (the order ``_try_dispatch`` plans in)."""
+    if len(row) < 2:
+        return row
+    seen = set()
+    out = []
+    for reg in row:
+        if reg not in seen:
+            seen.add(reg)
+            out.append(reg)
+    return tuple(out)
+
+
+class CompiledTrace:
+    """A dynamic µop trace compiled to structure-of-arrays form.
+
+    Instances are built by :func:`compile_trace` (from ``DynamicUop`` lists),
+    by :meth:`repro.program.trace.TraceGenerator.generate_compiled` (directly
+    from a static program, no intermediate objects) or by :meth:`load` (from
+    an on-disk artifact).  All constructor arguments are numpy arrays of
+    equal length ``n`` except the CSR pairs (offset arrays of length
+    ``n + 1``).
+    """
+
+    __slots__ = (
+        "seq",
+        "sid",
+        "block",
+        "opclass",
+        "address",
+        "mispredicted",
+        "vc_id",
+        "chain_leader",
+        "static_cluster",
+        "src_offsets",
+        "src_regs",
+        "dest_offsets",
+        "dest_regs",
+        "queue",
+        "latency",
+        "is_memory",
+        "is_load",
+        "is_store",
+        "is_branch",
+        "is_fp",
+        "_cache",
+    )
+
+    #: Stored columns, in ``save``/``load`` order.
+    STORED_FIELDS = (
+        "seq",
+        "sid",
+        "block",
+        "opclass",
+        "address",
+        "mispredicted",
+        "vc_id",
+        "chain_leader",
+        "static_cluster",
+        "src_offsets",
+        "src_regs",
+        "dest_offsets",
+        "dest_regs",
+    )
+
+    def __init__(
+        self,
+        seq: np.ndarray,
+        sid: np.ndarray,
+        block: np.ndarray,
+        opclass: np.ndarray,
+        address: np.ndarray,
+        mispredicted: np.ndarray,
+        vc_id: np.ndarray,
+        chain_leader: np.ndarray,
+        static_cluster: np.ndarray,
+        src_offsets: np.ndarray,
+        src_regs: np.ndarray,
+        dest_offsets: np.ndarray,
+        dest_regs: np.ndarray,
+    ) -> None:
+        self.seq = np.asarray(seq, dtype=np.int64)
+        self.sid = np.asarray(sid, dtype=np.int64)
+        self.block = np.asarray(block, dtype=np.int32)
+        self.opclass = np.asarray(opclass, dtype=np.uint8)
+        self.address = np.asarray(address, dtype=np.int64)
+        self.mispredicted = np.asarray(mispredicted, dtype=bool)
+        self.vc_id = np.asarray(vc_id, dtype=np.int32)
+        self.chain_leader = np.asarray(chain_leader, dtype=bool)
+        self.static_cluster = np.asarray(static_cluster, dtype=np.int32)
+        self.src_offsets = np.asarray(src_offsets, dtype=np.int64)
+        self.src_regs = np.asarray(src_regs, dtype=np.int32)
+        self.dest_offsets = np.asarray(dest_offsets, dtype=np.int64)
+        self.dest_regs = np.asarray(dest_regs, dtype=np.int32)
+        n = len(self.seq)
+        for name in ("sid", "block", "opclass", "address", "mispredicted",
+                     "vc_id", "chain_leader", "static_cluster"):
+            if len(getattr(self, name)) != n:
+                raise ValueError(f"column {name!r} has length {len(getattr(self, name))}, expected {n}")
+        for name in ("src_offsets", "dest_offsets"):
+            if len(getattr(self, name)) != n + 1:
+                raise ValueError(f"offset column {name!r} must have length n + 1")
+        # Derived columns: vectorised lookups on the µop class.
+        self.queue = _QUEUE_TABLE[self.opclass]
+        self.latency = _LATENCY_TABLE[self.opclass]
+        self.is_memory = _MEMORY_TABLE[self.opclass]
+        self.is_load = _LOAD_TABLE[self.opclass]
+        self.is_store = _STORE_TABLE[self.opclass]
+        self.is_branch = _BRANCH_TABLE[self.opclass]
+        self.is_fp = _FP_TABLE[self.opclass]
+        #: Lazily materialised hot-path lists (dropped on re-annotation).
+        self._cache: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------ basics --
+    def __len__(self) -> int:
+        return len(self.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CompiledTrace({len(self)} µops, {int(self.src_offsets[-1])} source operands)"
+
+    def equals(self, other: "CompiledTrace") -> bool:
+        """Array-for-array equality of the stored columns."""
+        if not isinstance(other, CompiledTrace) or len(self) != len(other):
+            return False
+        return all(
+            np.array_equal(getattr(self, name), getattr(other, name))
+            for name in self.STORED_FIELDS
+        )
+
+    # --------------------------------------------------------- hot-path caches --
+    def _cached(self, key: str, build) -> object:
+        value = self._cache.get(key)
+        if value is None:
+            value = build()
+            self._cache[key] = value
+        return value
+
+    def src_tuples(self) -> List[Tuple[int, ...]]:
+        """Per-µop source registers, duplicates preserved (the steering view)."""
+        return self._cached("srcs", lambda: _uncsr(self.src_offsets, self.src_regs))
+
+    def unique_src_tuples(self) -> List[Tuple[int, ...]]:
+        """Per-µop sources deduplicated in first-occurrence order (dispatch planning)."""
+        return self._cached(
+            "usrcs", lambda: [_dedup(row) for row in self.src_tuples()]
+        )
+
+    def dest_tuples(self) -> List[Tuple[int, ...]]:
+        """Per-µop destination registers."""
+        return self._cached("dests", lambda: _uncsr(self.dest_offsets, self.dest_regs))
+
+    def queue_kinds(self) -> List[IssueQueueKind]:
+        """Per-µop issue-queue kind as enum singletons."""
+        return self._cached(
+            "queue_kinds", lambda: [_QUEUE_KINDS[q] for q in self.queue.tolist()]
+        )
+
+    def latency_list(self) -> List[int]:
+        """Per-µop functional-unit latency as plain ints."""
+        return self._cached("latency", self.latency.tolist)
+
+    def address_list(self) -> List[int]:
+        """Per-µop effective address as plain ints."""
+        return self._cached("address", self.address.tolist)
+
+    def is_memory_list(self) -> List[bool]:
+        """Per-µop memory flag as plain bools."""
+        return self._cached("is_memory", self.is_memory.tolist)
+
+    def is_load_list(self) -> List[bool]:
+        """Per-µop load flag as plain bools."""
+        return self._cached("is_load", self.is_load.tolist)
+
+    def is_branch_list(self) -> List[bool]:
+        """Per-µop branch flag as plain bools."""
+        return self._cached("is_branch", self.is_branch.tolist)
+
+    def is_fp_list(self) -> List[bool]:
+        """Per-µop floating-point flag as plain bools."""
+        return self._cached("is_fp", self.is_fp.tolist)
+
+    def mispredicted_list(self) -> List[bool]:
+        """Per-µop mispredict bit as plain bools."""
+        return self._cached("mispredicted", self.mispredicted.tolist)
+
+    def vc_id_list(self) -> List[Optional[int]]:
+        """Per-µop virtual-cluster id (``None`` when unannotated)."""
+        return self._cached(
+            "vc_id",
+            lambda: [None if v == NO_ANNOTATION else v for v in self.vc_id.tolist()],
+        )
+
+    def chain_leader_list(self) -> List[bool]:
+        """Per-µop chain-leader mark as plain bools."""
+        return self._cached("chain_leader", self.chain_leader.tolist)
+
+    def static_cluster_list(self) -> List[Optional[int]]:
+        """Per-µop static physical-cluster binding (``None`` when unbound)."""
+        return self._cached(
+            "static_cluster",
+            lambda: [None if v == NO_ANNOTATION else v for v in self.static_cluster.tolist()],
+        )
+
+    def dest_kind_counts(self, register_space) -> List[Tuple[int, int]]:
+        """Per-µop ``(int, fp)`` destination counts for the given register space.
+
+        Lets the register-file model allocate/release by count instead of
+        classifying every destination register on every dispatch and commit.
+        """
+        key = f"dest_counts_{register_space.num_int}_{register_space.num_fp}"
+
+        def build() -> List[Tuple[int, int]]:
+            boundary = register_space.num_int
+            counts = []
+            for dests in self.dest_tuples():
+                fp = sum(1 for reg in dests if reg >= boundary)
+                counts.append((len(dests) - fp, fp))
+            return counts
+
+        return self._cached(key, build)
+
+    # ------------------------------------------------------------- annotations --
+    def annotate_from(self, program) -> "CompiledTrace":
+        """Refresh the steering-annotation columns from ``program``'s statics.
+
+        The dynamic µop stream never depends on annotations, so one compiled
+        trace is shared by every steering configuration of a phase; each
+        configuration re-annotates the program (or clears it) and then calls
+        this to scatter the per-``sid`` annotations across the per-µop
+        columns.  Returns ``self`` for chaining.
+        """
+        size = int(self.sid.max()) + 1 if len(self.sid) else 0
+        vc = np.full(size, NO_ANNOTATION, dtype=np.int32)
+        leader = np.zeros(size, dtype=bool)
+        static_cluster = np.full(size, NO_ANNOTATION, dtype=np.int32)
+        for inst in program.all_instructions():
+            sid = inst.sid
+            if 0 <= sid < size:
+                vc[sid] = NO_ANNOTATION if inst.vc_id is None else int(inst.vc_id)
+                leader[sid] = bool(inst.chain_leader)
+                static_cluster[sid] = (
+                    NO_ANNOTATION if inst.static_cluster is None else int(inst.static_cluster)
+                )
+        self.vc_id = vc[self.sid]
+        self.chain_leader = leader[self.sid]
+        self.static_cluster = static_cluster[self.sid]
+        for key in ("vc_id", "chain_leader", "static_cluster"):
+            self._cache.pop(key, None)
+        return self
+
+    # ----------------------------------------------------------- materialise --
+    def materialize(self) -> List[DynamicUop]:
+        """Rebuild the equivalent :class:`DynamicUop` list.
+
+        One :class:`StaticInstruction` is reconstructed per distinct ``sid``
+        (dynamic instances of the same static instruction share it, exactly
+        like traces expanded from a program), annotations included.
+        """
+        statics: Dict[int, StaticInstruction] = {}
+        srcs = self.src_tuples()
+        dests = self.dest_tuples()
+        sids = self.sid.tolist()
+        blocks = self.block.tolist()
+        opclasses = self.opclass.tolist()
+        vc_ids = self.vc_id_list()
+        leaders = self.chain_leader_list()
+        static_clusters = self.static_cluster_list()
+        seqs = self.seq.tolist()
+        addresses = self.address_list()
+        mispredicts = self.mispredicted_list()
+        trace: List[DynamicUop] = []
+        for i, sid in enumerate(sids):
+            static = statics.get(sid)
+            if static is None:
+                static = StaticInstruction(
+                    sid, _UOP_CLASSES[opclasses[i]], dests[i], srcs[i], block=blocks[i]
+                )
+                static.vc_id = vc_ids[i]
+                static.chain_leader = leaders[i]
+                static.static_cluster = static_clusters[i]
+                statics[sid] = static
+            trace.append(
+                DynamicUop(seqs[i], static, address=addresses[i], mispredicted=mispredicts[i])
+            )
+        return trace
+
+    # ------------------------------------------------------------ persistence --
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the stored columns to a compressed ``.npz`` file."""
+        np.savez_compressed(
+            str(path), **{name: getattr(self, name) for name in self.STORED_FIELDS}
+        )
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "CompiledTrace":
+        """Rebuild a compiled trace from a :meth:`save` artifact."""
+        with np.load(str(path), allow_pickle=False) as data:
+            missing = [name for name in cls.STORED_FIELDS if name not in data]
+            if missing:
+                raise ValueError(f"trace artifact {path} is missing columns {missing}")
+            return cls(**{name: data[name] for name in cls.STORED_FIELDS})
+
+    # ------------------------------------------------------------ constructors --
+    @classmethod
+    def from_columns(
+        cls,
+        sids: Sequence[int],
+        opclasses: Sequence[int],
+        srcs: Sequence[Tuple[int, ...]],
+        dests: Sequence[Tuple[int, ...]],
+        blocks: Sequence[int],
+        addresses: Sequence[int],
+        mispredicted: Sequence[bool],
+        vc_ids: Sequence[int],
+        chain_leaders: Sequence[bool],
+        static_clusters: Sequence[int],
+        seqs: Optional[Sequence[int]] = None,
+    ) -> "CompiledTrace":
+        """Build a trace from per-µop Python columns (annotation sentinel ``-1``)."""
+        n = len(sids)
+        src_offsets, src_regs = _csr(srcs)
+        dest_offsets, dest_regs = _csr(dests)
+        return cls(
+            seq=np.arange(n, dtype=np.int64) if seqs is None else np.asarray(seqs, dtype=np.int64),
+            sid=np.asarray(sids, dtype=np.int64),
+            block=np.asarray(blocks, dtype=np.int32),
+            opclass=np.asarray(opclasses, dtype=np.uint8),
+            address=np.asarray(addresses, dtype=np.int64),
+            mispredicted=np.asarray(mispredicted, dtype=bool),
+            vc_id=np.asarray(vc_ids, dtype=np.int32),
+            chain_leader=np.asarray(chain_leaders, dtype=bool),
+            static_cluster=np.asarray(static_clusters, dtype=np.int32),
+            src_offsets=src_offsets,
+            src_regs=src_regs,
+            dest_offsets=dest_offsets,
+            dest_regs=dest_regs,
+        )
+
+    @classmethod
+    def from_uops(cls, trace: Iterable[DynamicUop]) -> "CompiledTrace":
+        """Compile a :class:`DynamicUop` sequence (see :func:`compile_trace`)."""
+        sids, opclasses, srcs, dests, blocks = [], [], [], [], []
+        addresses, mispredicts, vc_ids, leaders, static_clusters, seqs = [], [], [], [], [], []
+        for uop in trace:
+            static = uop.static
+            sids.append(static.sid)
+            opclasses.append(int(static.opclass))
+            srcs.append(static.srcs)
+            dests.append(static.dests)
+            blocks.append(static.block)
+            addresses.append(uop.address)
+            mispredicts.append(uop.mispredicted)
+            vc_ids.append(NO_ANNOTATION if static.vc_id is None else int(static.vc_id))
+            leaders.append(bool(static.chain_leader))
+            static_clusters.append(
+                NO_ANNOTATION if static.static_cluster is None else int(static.static_cluster)
+            )
+            seqs.append(uop.seq)
+        return cls.from_columns(
+            sids, opclasses, srcs, dests, blocks, addresses, mispredicts,
+            vc_ids, leaders, static_clusters, seqs=seqs,
+        )
+
+
+def compile_trace(trace: Union[CompiledTrace, Sequence[DynamicUop]]) -> CompiledTrace:
+    """Compile ``trace`` into a :class:`CompiledTrace` (idempotent)."""
+    if isinstance(trace, CompiledTrace):
+        return trace
+    return CompiledTrace.from_uops(trace)
+
+
+class CompiledUopView:
+    """Flyweight µop: the :class:`DynamicUop` interface over compiled arrays.
+
+    The simulator passes one (mutable-cursor) view instance to the steering
+    policy per dispatch instead of materialising a ``DynamicUop`` -- policies
+    read ``uop.srcs`` / ``uop.queue`` / ``uop.vc_id`` exactly as before, but
+    each access is a single list index.  Setting :attr:`index` re-points the
+    view at another µop of the same trace.
+    """
+
+    __slots__ = (
+        "trace",
+        "index",
+        "_statics",
+        "_srcs",
+        "_dests",
+        "_queues",
+        "_latencies",
+        "_is_memory",
+        "_is_load",
+        "_is_branch",
+        "_is_fp",
+        "_addresses",
+        "_mispredicted",
+        "_vc_ids",
+        "_leaders",
+        "_static_clusters",
+        "_seqs",
+    )
+
+    def __init__(self, trace: CompiledTrace) -> None:
+        self.trace = trace
+        self.index = 0
+        self._statics: Dict[int, StaticInstruction] = {}
+        self._srcs = trace.src_tuples()
+        self._dests = trace.dest_tuples()
+        self._queues = trace.queue_kinds()
+        self._latencies = trace.latency_list()
+        self._is_memory = trace.is_memory_list()
+        self._is_load = trace.is_load_list()
+        self._is_branch = trace.is_branch_list()
+        self._is_fp = trace.is_fp_list()
+        self._addresses = trace.address_list()
+        self._mispredicted = trace.mispredicted_list()
+        self._vc_ids = trace.vc_id_list()
+        self._leaders = trace.chain_leader_list()
+        self._static_clusters = trace.static_cluster_list()
+        self._seqs = trace.seq.tolist()
+
+    # The property set mirrors DynamicUop, so existing policies (including
+    # user-registered ones) work unchanged on the compiled path.
+    @property
+    def seq(self) -> int:
+        """Sequence number of the µop."""
+        return self._seqs[self.index]
+
+    @property
+    def opclass(self) -> UopClass:
+        """µop class."""
+        return _UOP_CLASSES[self.trace.opclass[self.index]]
+
+    @property
+    def srcs(self) -> Tuple[int, ...]:
+        """Source registers (duplicates preserved, as in the static encoding)."""
+        return self._srcs[self.index]
+
+    @property
+    def dests(self) -> Tuple[int, ...]:
+        """Destination registers."""
+        return self._dests[self.index]
+
+    @property
+    def queue(self) -> IssueQueueKind:
+        """Issue queue kind."""
+        return self._queues[self.index]
+
+    @property
+    def latency(self) -> int:
+        """Functional-unit latency."""
+        return self._latencies[self.index]
+
+    @property
+    def is_memory(self) -> bool:
+        """True for loads and stores."""
+        return self._is_memory[self.index]
+
+    @property
+    def is_load(self) -> bool:
+        """True for loads."""
+        return self._is_load[self.index]
+
+    @property
+    def is_store(self) -> bool:
+        """True for stores."""
+        return self._is_memory[self.index] and not self._is_load[self.index]
+
+    @property
+    def is_branch(self) -> bool:
+        """True for control-flow µops."""
+        return self._is_branch[self.index]
+
+    @property
+    def is_fp(self) -> bool:
+        """True for floating-point arithmetic."""
+        return self._is_fp[self.index]
+
+    @property
+    def address(self) -> int:
+        """Effective address of memory µops."""
+        return self._addresses[self.index]
+
+    @property
+    def mispredicted(self) -> bool:
+        """Mispredict bit of branch µops."""
+        return self._mispredicted[self.index]
+
+    @property
+    def vc_id(self) -> Optional[int]:
+        """Virtual-cluster annotation (``None`` when unannotated)."""
+        return self._vc_ids[self.index]
+
+    @property
+    def chain_leader(self) -> bool:
+        """Chain-leader mark."""
+        return self._leaders[self.index]
+
+    @property
+    def static_cluster(self) -> Optional[int]:
+        """Static physical-cluster binding (``None`` when unbound)."""
+        return self._static_clusters[self.index]
+
+    @property
+    def sid(self) -> int:
+        """Static id of the underlying instruction."""
+        return int(self.trace.sid[self.index])
+
+    @property
+    def static(self) -> StaticInstruction:
+        """The underlying static instruction, rebuilt on demand per ``sid``.
+
+        Policies keying per-instruction state on ``uop.static`` / ``.sid``
+        keep working: instances are cached per ``sid``, so every dynamic
+        occurrence of one instruction returns the same object (as on the
+        ``DynamicUop`` path).  Note it is a *reconstruction* carrying the
+        trace's annotation snapshot, not the program's own instance.
+        """
+        index = self.index
+        sid = int(self.trace.sid[index])
+        static = self._statics.get(sid)
+        if static is None:
+            static = StaticInstruction(
+                sid,
+                self.opclass,
+                self._dests[index],
+                self._srcs[index],
+                block=int(self.trace.block[index]),
+            )
+            static.vc_id = self._vc_ids[index]
+            static.chain_leader = self._leaders[index]
+            static.static_cluster = self._static_clusters[index]
+            self._statics[sid] = static
+        return static
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CompiledUopView(index={self.index}, seq={self.seq}, {self.opclass.name})"

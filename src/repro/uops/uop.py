@@ -209,6 +209,11 @@ class DynamicUop:
         return self.static.is_branch
 
     @property
+    def is_fp(self) -> bool:
+        """True for floating-point arithmetic."""
+        return self.static.is_fp
+
+    @property
     def vc_id(self) -> Optional[int]:
         """Virtual cluster id inherited from the static instruction."""
         return self.static.vc_id

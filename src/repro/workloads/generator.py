@@ -23,6 +23,7 @@ from repro.program.basic_block import BasicBlock
 from repro.program.cfg import ControlFlowGraph
 from repro.program.program import Program
 from repro.program.trace import AddressModel, TraceGenerator
+from repro.uops.compiled import CompiledTrace
 from repro.uops.opcodes import UopClass
 from repro.uops.registers import RegisterSpace
 from repro.uops.uop import DynamicUop, StaticInstruction
@@ -273,6 +274,15 @@ class WorkloadGenerator:
             strided_fraction=profile.strided_fraction,
         )
 
+    def _trace_generator(self, phase: int, program: Program) -> TraceGenerator:
+        """The seeded expander both trace forms share for ``phase``."""
+        return TraceGenerator(
+            program,
+            seed=self.phase_seed(phase) ^ 0x5BD1E995,
+            address_model=self.address_model(phase),
+            mispredict_rate=self.profile.mispredict_rate,
+        )
+
     def generate_trace(
         self, num_uops: int, phase: int = 0, program: Optional[Program] = None
     ) -> Tuple[Program, List[DynamicUop]]:
@@ -284,13 +294,22 @@ class WorkloadGenerator:
         """
         if program is None:
             program = self.generate_program(phase)
-        generator = TraceGenerator(
-            program,
-            seed=self.phase_seed(phase) ^ 0x5BD1E995,
-            address_model=self.address_model(phase),
-            mispredict_rate=self.profile.mispredict_rate,
-        )
-        return program, generator.generate(num_uops)
+        return program, self._trace_generator(phase, program).generate(num_uops)
+
+    def generate_compiled_trace(
+        self, num_uops: int, phase: int = 0, program: Optional[Program] = None
+    ) -> Tuple[Program, CompiledTrace]:
+        """Build (or reuse) the phase program and expand a *compiled* trace.
+
+        Bit-identical stream to :meth:`generate_trace` (same seed and walk),
+        emitted directly in the simulator's structure-of-arrays form.  The
+        compiled trace snapshots the program's current annotations; after
+        running a compiler pass, refresh them with
+        :meth:`~repro.uops.compiled.CompiledTrace.annotate_from`.
+        """
+        if program is None:
+            program = self.generate_program(phase)
+        return program, self._trace_generator(phase, program).generate_compiled(num_uops)
 
 
 def generate_program(profile: BenchmarkProfile, phase: int = 0) -> Program:
