@@ -1,0 +1,132 @@
+"""Engine scheduling benchmarks: per-job versus batched sweep execution.
+
+The shape every paper figure reduces to -- one phase trace, a wide steering
+configuration axis -- is exactly what the batch scheduler amortises.  These
+benchmarks run an 8-configuration single-trace sweep through the real
+:class:`~repro.engine.parallel.ParallelRunner` in both scheduling modes,
+serial and with a worker pool, measuring what a fresh ``--no-cache`` CLI
+invocation would pay: each round clears the per-process trace memo and
+builds (and tears down) its own runner, so per-job parallel scheduling pays
+its characteristic per-worker trace acquisition while batched scheduling
+fetches the trace once and keeps it resident.
+
+``benchmarks/BENCH_engine.json`` holds a committed reference snapshot of
+this file's numbers (regenerate with ``pytest benchmarks/test_engine_sweep.py
+--benchmark-only --benchmark-json benchmarks/BENCH_engine.json``);
+``scripts/check_bench_regression.py`` diffs a fresh run against it and warns
+on >30 % throughput regressions.  The batched-vs-per-job wall-clock speedup
+of the parallel pair is the engine's headline batching win (>=1.5x on the
+reference machine).
+"""
+
+from __future__ import annotations
+
+from repro.engine.job import SimulationJob
+from repro.engine.parallel import _TRACE_MEMO, ParallelRunner
+from repro.experiments.configs import TABLE3_CONFIGURATIONS, vc_variant
+from repro.workloads.spec2000 import profile_for
+
+#: Dynamic µops of the swept phase trace.
+SWEEP_TRACE_LENGTH = 800
+
+#: Worker processes of the parallel pair (a typical ``--jobs`` value; with
+#: more workers than batches the batched scheduler runs the single batch
+#: inline, which is precisely its point).
+SWEEP_WORKERS = 8
+
+#: The swept configuration axis: all five Table 3 schemes plus three pinned
+#: virtual-cluster variants of the paper's hybrid -- eight configurations,
+#: one trace, the batch scheduler's target shape.
+SWEEP_CONFIGURATIONS = [
+    TABLE3_CONFIGURATIONS["OP"],
+    TABLE3_CONFIGURATIONS["one-cluster"],
+    TABLE3_CONFIGURATIONS["OB"],
+    TABLE3_CONFIGURATIONS["RHOP"],
+    TABLE3_CONFIGURATIONS["VC"],
+    vc_variant("VC(1)", 1),
+    vc_variant("VC(4)", 4),
+    vc_variant("VC(8)", 8),
+]
+
+
+def _sweep_jobs() -> list:
+    profile = profile_for("164.gzip-1")
+    return [
+        SimulationJob(
+            profile=profile,
+            phase=0,
+            configuration=configuration,
+            trace_length=SWEEP_TRACE_LENGTH,
+            region_size=128,
+            num_clusters=2,
+            num_virtual_clusters=2,
+        )
+        for configuration in SWEEP_CONFIGURATIONS
+    ]
+
+
+def _run_sweep(batching: bool, workers: int):
+    """One fresh-invocation sweep: new runner, cold memo, no caches."""
+    jobs = _sweep_jobs()
+    _TRACE_MEMO.clear()
+    runner = ParallelRunner(
+        max_workers=workers, cache=None, trace_root=None, batching=batching
+    )
+    try:
+        return runner.run(jobs)
+    finally:
+        runner.shutdown()
+
+
+def _record(benchmark, results) -> None:
+    uops = SWEEP_TRACE_LENGTH * len(SWEEP_CONFIGURATIONS)
+    benchmark.extra_info["configurations"] = len(SWEEP_CONFIGURATIONS)
+    benchmark.extra_info["trace_length"] = SWEEP_TRACE_LENGTH
+    benchmark.extra_info["uops_per_run"] = uops
+    mean = benchmark.stats.stats.mean
+    benchmark.extra_info["uops_per_second"] = round(uops / mean) if mean > 0 else 0
+    assert len(results) == len(SWEEP_CONFIGURATIONS)
+    # The generator closes its final block, so a run commits >= trace_length.
+    assert all(metrics.committed_uops >= SWEEP_TRACE_LENGTH for metrics in results)
+
+
+def test_sweep_per_job_serial(benchmark):
+    """8-config single-trace sweep, per-job scheduling, no worker pool."""
+    results = benchmark.pedantic(
+        _run_sweep, args=(False, 1), rounds=3, iterations=1, warmup_rounds=1
+    )
+    benchmark.extra_info["mode"] = "per-job serial"
+    _record(benchmark, results)
+
+
+def test_sweep_batched_serial(benchmark):
+    """Same sweep, batched scheduling, no worker pool."""
+    results = benchmark.pedantic(
+        _run_sweep, args=(True, 1), rounds=3, iterations=1, warmup_rounds=1
+    )
+    benchmark.extra_info["mode"] = "batched serial"
+    _record(benchmark, results)
+
+
+def test_sweep_per_job_parallel(benchmark):
+    """The sweep under per-job scheduling with a worker pool: every worker
+    acquires the trace on its own before simulating its share of the axis."""
+    results = benchmark.pedantic(
+        _run_sweep, args=(False, SWEEP_WORKERS), rounds=3, iterations=1, warmup_rounds=1
+    )
+    benchmark.extra_info["mode"] = "per-job parallel"
+    benchmark.extra_info["workers"] = SWEEP_WORKERS
+    _record(benchmark, results)
+
+
+def test_sweep_batched_parallel(benchmark):
+    """The sweep under batched scheduling: one batch task, one trace fetch,
+    eight simulations against the resident compiled trace.  The wall-clock
+    ratio against ``test_sweep_per_job_parallel`` is the batching speedup
+    recorded in BENCH_engine.json (>=1.5x on the reference machine)."""
+    results = benchmark.pedantic(
+        _run_sweep, args=(True, SWEEP_WORKERS), rounds=3, iterations=1, warmup_rounds=1
+    )
+    benchmark.extra_info["mode"] = "batched parallel"
+    benchmark.extra_info["workers"] = SWEEP_WORKERS
+    _record(benchmark, results)

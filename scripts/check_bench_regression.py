@@ -1,0 +1,134 @@
+"""Diff a fresh engine-benchmark run against the committed snapshot.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_bench_regression.py            # runs pytest itself
+    PYTHONPATH=src python scripts/check_bench_regression.py --fresh fresh.json
+    PYTHONPATH=src python scripts/check_bench_regression.py --strict   # warnings -> exit 1
+
+Compares per-benchmark throughput (1 / mean wall-clock) of a fresh
+``benchmarks/test_engine_sweep.py`` run against the committed reference
+snapshot ``benchmarks/BENCH_engine.json`` and **warns** on any benchmark
+whose throughput regressed by more than the threshold (default 30 %).  It
+also recomputes the batching headline -- the wall-clock speedup of the
+batched parallel sweep over per-job parallel scheduling -- and warns if it
+fell below the 1.5x the snapshot records.
+
+Warnings do not fail the run by default (benchmark machines vary); pass
+``--strict`` to turn them into a non-zero exit for gating jobs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SNAPSHOT_PATH = REPO_ROOT / "benchmarks" / "BENCH_engine.json"
+BENCH_FILE = REPO_ROOT / "benchmarks" / "test_engine_sweep.py"
+
+#: The benchmark pair whose wall-clock ratio is the batching headline.
+SPEEDUP_BASELINE = "test_sweep_per_job_parallel"
+SPEEDUP_SUBJECT = "test_sweep_batched_parallel"
+MIN_SPEEDUP = 1.5
+
+
+def load_means(path: Path) -> dict:
+    """``{benchmark name: mean seconds}`` from a pytest-benchmark JSON file."""
+    data = json.loads(path.read_text(encoding="utf-8"))
+    return {entry["name"]: float(entry["stats"]["mean"]) for entry in data["benchmarks"]}
+
+
+def run_fresh(output: Path) -> None:
+    """Produce a fresh benchmark JSON by running the sweep benchmarks."""
+    command = [
+        sys.executable,
+        "-m",
+        "pytest",
+        str(BENCH_FILE),
+        "--benchmark-only",
+        f"--benchmark-json={output}",
+        "-q",
+    ]
+    print("+ " + " ".join(command), flush=True)
+    subprocess.run(command, check=True, cwd=REPO_ROOT)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--snapshot",
+        type=Path,
+        default=SNAPSHOT_PATH,
+        help="committed reference snapshot (default benchmarks/BENCH_engine.json)",
+    )
+    parser.add_argument(
+        "--fresh",
+        type=Path,
+        default=None,
+        help="fresh benchmark JSON to compare; omitted = run the benchmarks now",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=30.0,
+        help="warn when throughput regressed by more than this percentage (default 30)",
+    )
+    parser.add_argument(
+        "--strict", action="store_true", help="exit non-zero if any warning fired"
+    )
+    args = parser.parse_args(argv)
+
+    snapshot = load_means(args.snapshot)
+    if args.fresh is not None:
+        fresh = load_means(args.fresh)
+    else:
+        with tempfile.TemporaryDirectory() as tmp:
+            fresh_path = Path(tmp) / "fresh.json"
+            run_fresh(fresh_path)
+            fresh = load_means(fresh_path)
+
+    warnings = 0
+    print(f"{'benchmark':<32} {'snapshot':>10} {'fresh':>10} {'throughput':>11}")
+    for name in sorted(snapshot):
+        if name not in fresh:
+            print(f"{name:<32} missing from the fresh run")
+            warnings += 1
+            continue
+        snap_mean, fresh_mean = snapshot[name], fresh[name]
+        # Throughput ratio: >1 means faster than the snapshot.
+        ratio = snap_mean / fresh_mean if fresh_mean > 0 else float("inf")
+        print(f"{name:<32} {snap_mean*1e3:>8.1f}ms {fresh_mean*1e3:>8.1f}ms {ratio:>10.2f}x")
+        regression = (1.0 - ratio) * 100.0
+        if regression > args.threshold:
+            print(
+                f"WARNING: {name} throughput regressed {regression:.0f}% "
+                f"(>{args.threshold:.0f}% threshold) vs the committed snapshot"
+            )
+            warnings += 1
+    for name in sorted(set(fresh) - set(snapshot)):
+        print(f"note: {name} has no snapshot entry (new benchmark?)")
+
+    if SPEEDUP_BASELINE in fresh and SPEEDUP_SUBJECT in fresh:
+        speedup = fresh[SPEEDUP_BASELINE] / fresh[SPEEDUP_SUBJECT]
+        print(f"\nbatched sweep speedup vs per-job scheduling: {speedup:.2f}x")
+        if speedup < MIN_SPEEDUP:
+            print(
+                f"WARNING: batched sweep speedup {speedup:.2f}x fell below the "
+                f"{MIN_SPEEDUP:.1f}x recorded in the reference snapshot"
+            )
+            warnings += 1
+
+    if warnings:
+        print(f"\n{warnings} warning(s).")
+        return 1 if args.strict else 0
+    print("\nno regressions beyond threshold.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -62,6 +62,14 @@ engine (:mod:`repro.engine`) and accepts three knobs:
     the same phases -- shares one artifact.  ``--no-cache`` also disables
     artifacts unless an explicit ``--trace-dir`` is given;
     ``--no-trace-artifacts`` turns them off on their own.
+
+``--batch`` / ``--no-batch``
+    Batched scheduling (the default): jobs are grouped into one batch per
+    distinct phase trace, the result cache is consulted per batch (fully
+    cached batches skip the workers entirely), and each remaining batch runs
+    all its configurations against a single in-memory compiled trace on one
+    reused processor.  Bit-identical to ``--no-batch`` (per-job scheduling);
+    reports end with a ``[batch] traces=... configs=...`` footer.
 """
 
 from __future__ import annotations
@@ -123,10 +131,15 @@ def _trace_root(args: argparse.Namespace):
 
 
 def _engine(args: argparse.Namespace) -> ParallelRunner:
-    """The engine configured by the ``--jobs`` / cache / trace-artifact options."""
+    """The engine configured by the ``--jobs`` / cache / trace / batch options."""
     cache_dir = _cache_dir(args)
     cache = ResultCache(cache_dir) if cache_dir is not None else None
-    return ParallelRunner(max_workers=args.jobs, cache=cache, trace_root=_trace_root(args))
+    return ParallelRunner(
+        max_workers=args.jobs,
+        cache=cache,
+        trace_root=_trace_root(args),
+        batching=getattr(args, "batch", True),
+    )
 
 
 def _engine_footer(engine: ParallelRunner) -> str:
@@ -148,14 +161,25 @@ def _engine_footer(engine: ParallelRunner) -> str:
             )
     store = engine.trace_store
     if store is not None:
-        trace_stats = store.stats()
+        # Aggregated across processes: the runner's own (inline) store
+        # counters plus the per-task deltas reported back by pool workers,
+        # so parallel runs account their trace traffic exactly.
+        trace_stats = engine.trace_stats()
         if trace_stats["hits"] + trace_stats["misses"] + trace_stats["stores"] > 0:
-            # Parallel runs touch the store from worker processes, whose
-            # counters are not visible here; serial runs report exactly.
             footer += (
                 f"[traces] dir={store.root}  loaded={trace_stats['hits']} "
                 f"generated={trace_stats['misses']} stored={trace_stats['stores']}  "
                 "(compiled traces are shared across configurations and runs)\n"
+            )
+    if engine.batching:
+        batch_stats = engine.batch_stats
+        if batch_stats["jobs"] > 0:
+            footer += (
+                f"[batch] traces={batch_stats['batches']} configs={batch_stats['jobs']} "
+                f"max-width={batch_stats['max_width']} "
+                f"fully-cached-batches={batch_stats['cached_batches']}  "
+                "(each batch runs all configurations of one trace; "
+                "--no-batch restores per-job scheduling)\n"
             )
     return footer
 
@@ -216,6 +240,21 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
         "--no-trace-artifacts",
         action="store_true",
         help="regenerate traces from their seeds instead of loading artifacts",
+    )
+    parser.add_argument(
+        "--batch",
+        dest="batch",
+        action="store_true",
+        default=True,
+        help="group jobs into per-trace batches so every configuration of a "
+        "phase shares one in-memory compiled trace (default; bit-identical "
+        "to per-job scheduling)",
+    )
+    parser.add_argument(
+        "--no-batch",
+        dest="batch",
+        action="store_false",
+        help="schedule jobs one by one instead of per-trace batches",
     )
 
 

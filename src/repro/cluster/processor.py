@@ -133,6 +133,7 @@ class ClusteredProcessor(SteeringContext):
         self.config = config
         self.steering = steering
         self.register_space = register_space
+        self._bound: Optional[CompiledTrace] = None
         self._reset_state()
 
     # ------------------------------------------------------------------ state --
@@ -183,7 +184,6 @@ class ClusteredProcessor(SteeringContext):
         self._u_dests = compiled.dest_tuples()
         self._u_usrcs = compiled.unique_src_tuples()
         self._u_dest_counts = compiled.dest_kind_counts(self.register_space)
-        self._view = CompiledUopView(compiled)
 
     # ------------------------------------------------ SteeringContext interface --
     @property
@@ -204,6 +204,21 @@ class ClusteredProcessor(SteeringContext):
         return self.rename.location_mask(reg)
 
     # ----------------------------------------------------------------- running --
+    def bind(self, trace: Union[CompiledTrace, Sequence[DynamicUop]]) -> CompiledTrace:
+        """Hoist ``trace``'s per-µop columns for repeated :meth:`run_bound` calls.
+
+        Binding pays the compile-and-hoist cost once; every subsequent
+        :meth:`run_bound` simulates the bound trace from a clean architectural
+        state.  Annotation columns are *not* snapshotted here -- each run
+        re-reads them, so callers may re-annotate the compiled trace (via
+        :meth:`~repro.uops.compiled.CompiledTrace.annotate_from`) between
+        runs.  Returns the bound :class:`CompiledTrace`.
+        """
+        compiled = compile_trace(trace)
+        self._bind_trace(compiled)
+        self._bound = compiled
+        return compiled
+
     def run(
         self,
         trace: Union[CompiledTrace, Sequence[DynamicUop]],
@@ -221,9 +236,38 @@ class ClusteredProcessor(SteeringContext):
         RuntimeError
             If the simulation exceeds ``max_cycles`` (deadlock guard).
         """
-        compiled = compile_trace(trace)
+        self.bind(trace)
+        return self.run_bound(max_cycles=max_cycles)
+
+    def run_bound(
+        self,
+        steering: Optional[SteeringPolicy] = None,
+        max_cycles: Optional[int] = None,
+    ) -> SimulationMetrics:
+        """Simulate the bound trace from a clean architectural state.
+
+        The batch-execution path: after one :meth:`bind`, every configuration
+        of a trace runs through here -- optionally swapping in its own
+        ``steering`` policy -- without re-hoisting the trace columns.  All
+        architectural state (ROB, queues, register files, rename map, memory
+        hierarchy, interconnect, metrics, the policy's own state via
+        ``reset``) is rebuilt per run, so a ``run_bound`` is bit-identical to
+        a fresh processor's :meth:`run` of the same trace (the batch
+        determinism suite pins this).  Only the steering-annotation columns
+        are re-read each run: callers may ``annotate_from`` the compiled
+        trace between runs.
+        """
+        compiled = self._bound
+        if compiled is None:
+            raise RuntimeError("no trace bound; call bind() (or run()) first")
+        if steering is not None:
+            self.steering = steering
         self._reset_state()
-        self._bind_trace(compiled)
+        self._num_uops = len(compiled)  # _reset_state clears the fetch window
+        # Fresh per run, not per bind: the view snapshots annotation lists
+        # (and reconstructs statics from them), which change between the runs
+        # of a batch.
+        self._view = CompiledUopView(compiled)
         if self.config.warm_caches:
             self._warm_caches(compiled)
         limit = max_cycles if max_cycles is not None else self.config.max_cycles
@@ -239,6 +283,31 @@ class ClusteredProcessor(SteeringContext):
         self.metrics.cache = self.memory.summary()
         self.metrics.vc_remaps = getattr(self.steering, "remap_count", 0)
         return self.metrics
+
+    def run_many(
+        self,
+        trace: Union[CompiledTrace, Sequence[DynamicUop]],
+        steerings: Sequence[SteeringPolicy],
+        max_cycles: Optional[int] = None,
+        prepare=None,
+    ) -> List[SimulationMetrics]:
+        """Run every policy in ``steerings`` against one in-memory trace.
+
+        The trace is bound once; each policy then simulates it via
+        :meth:`run_bound`, so the per-trace fixed costs are shared across the
+        whole configuration axis.  ``prepare`` (if given) is called with the
+        run index right before each run -- the engine uses it to refresh the
+        trace's steering annotations for the next configuration.  Metrics are
+        fresh objects per run, element-for-element identical to running each
+        policy on its own processor.
+        """
+        self.bind(trace)
+        results: List[SimulationMetrics] = []
+        for index, steering in enumerate(steerings):
+            if prepare is not None:
+                prepare(index)
+            results.append(self.run_bound(steering, max_cycles=max_cycles))
+        return results
 
     def _warm_caches(self, compiled: CompiledTrace) -> None:
         """Pre-touch the trace's memory footprint, then zero the cache statistics.

@@ -28,10 +28,17 @@ the cache-replay path:
     phase traces instead of regenerating them; every configuration of a
     phase shares one artifact.
 
+``RunPlan`` / ``JobBatch`` (:mod:`repro.engine.batch`)
+    The batch-scheduling layer: a run's jobs partitioned into one batch per
+    distinct trace key (deterministic order, job order preserved), so fixed
+    per-trace costs are paid once per trace instead of once per job.
+
 ``ParallelRunner`` (:mod:`repro.engine.parallel`)
     Expands nothing and decides nothing about results -- it only chooses
-    where jobs run (inline for ``max_workers=1``, else a
-    ``ProcessPoolExecutor``) and consults the caches first.
+    where and in what grouping jobs run (inline for ``max_workers=1``, else
+    a ``ProcessPoolExecutor``; per-trace batches by default, per-job with
+    ``batching=False``) and consults the caches first, per batch, so
+    fully-cached batches never reach a worker.
 
 Determinism contract
 --------------------
@@ -59,17 +66,32 @@ experiment command.
 from __future__ import annotations
 
 from repro.engine.artifacts import TRACE_ARTIFACT_VERSION, TraceArtifactStore
+from repro.engine.batch import JobBatch, RunPlan
 from repro.engine.cache import ResultCache
 from repro.engine.job import CACHE_SCHEMA_VERSION, SimulationJob
-from repro.engine.parallel import AUTO_TRACE_ROOT, ParallelRunner, execute_job
+from repro.engine.parallel import (
+    AUTO_TRACE_ROOT,
+    DEFAULT_TRACE_MEMO_CAP,
+    TRACE_MEMO_CAP_ENV,
+    ParallelRunner,
+    execute_batch,
+    execute_job,
+    resolve_trace_memo_cap,
+)
 
 __all__ = [
     "AUTO_TRACE_ROOT",
     "CACHE_SCHEMA_VERSION",
+    "DEFAULT_TRACE_MEMO_CAP",
     "TRACE_ARTIFACT_VERSION",
+    "TRACE_MEMO_CAP_ENV",
+    "JobBatch",
     "ParallelRunner",
     "ResultCache",
+    "RunPlan",
     "SimulationJob",
     "TraceArtifactStore",
+    "execute_batch",
     "execute_job",
+    "resolve_trace_memo_cap",
 ]

@@ -122,3 +122,15 @@ class TraceArtifactStore:
     def stats(self) -> Dict[str, int]:
         """Hit/miss/store counters as a plain dictionary."""
         return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+
+    def stats_since(self, snapshot: Dict[str, int]) -> Dict[str, int]:
+        """Counter deltas since a previous :meth:`stats` snapshot.
+
+        Worker processes keep one long-lived store per root whose counters
+        accumulate across tasks; a task that wants to report *its own*
+        traffic snapshots the counters on entry and returns the delta, which
+        the parent then sums into its run-level totals (the CLI ``[traces]``
+        footer).  Deltas are safe to add across tasks and processes;
+        cumulative counters are not.
+        """
+        return {name: value - snapshot.get(name, 0) for name, value in self.stats().items()}

@@ -24,7 +24,7 @@ import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Dict, List, Optional, Union
 
 from repro.cluster.metrics import SimulationMetrics
 
@@ -66,6 +66,16 @@ class ResultCache:
             return None
         self.hits += 1
         return metrics
+
+    def get_many(self, keys: List[str]) -> List[Optional[SimulationMetrics]]:
+        """Look up several keys at once (one slot per key, ``None`` on miss).
+
+        The batch scheduler consults the cache per :class:`~repro.engine.batch.JobBatch`
+        before dispatching it, so a fully-cached batch -- every slot filled
+        -- never reaches a worker.  Counters advance exactly as per-key
+        :meth:`get` calls would.
+        """
+        return [self.get(key) for key in keys]
 
     def put(self, key: str, metrics: SimulationMetrics) -> None:
         """Store ``metrics`` under ``key`` (atomic, last-writer-wins)."""

@@ -129,6 +129,23 @@ class SimulationJob:
             config = config.with_overrides(**dict(self.config_overrides))
         return config
 
+    def machine_key(self) -> Tuple[object, ...]:
+        """Hashable identity of the simulated machine (geometry + overrides).
+
+        Jobs of one trace batch that share this key can share one
+        :class:`~repro.cluster.processor.ClusteredProcessor` instance across
+        configurations (architectural state is reset between runs); jobs with
+        different keys need different processors.  The register space is
+        included for completeness even though jobs sharing a
+        :meth:`trace_key` agree on it by construction.
+        """
+        return (
+            self.num_clusters,
+            self.config_overrides,
+            self.register_space.num_int,
+            self.register_space.num_fp,
+        )
+
     def cache_key(self) -> str:
         """Stable content hash identifying this job's simulation result.
 

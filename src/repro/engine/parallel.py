@@ -1,12 +1,24 @@
 """Job execution: inline serial runs and process-pool fan-out.
 
-:func:`execute_job` is the single code path that turns a
-:class:`~repro.engine.job.SimulationJob` into metrics -- the serial executor
-calls it inline, worker processes call it via ``ProcessPoolExecutor``.
-Because trace generation is fully seeded (profile + phase) and the simulator
-is deterministic, the same job produces bit-identical metrics in either mode;
-:class:`ParallelRunner` only decides *where* jobs run and consults the
-optional result cache, never *what* they compute.
+:func:`execute_job` turns one :class:`~repro.engine.job.SimulationJob` into
+metrics; :func:`execute_batch` does the same for *all* configurations of one
+trace at once, against a single in-memory
+:class:`~repro.uops.compiled.CompiledTrace` and a reused
+:class:`~repro.cluster.processor.ClusteredProcessor` (the
+``bind``/``run_bound`` path).  Because trace generation is fully seeded
+(profile + phase) and the simulator is deterministic, the same job produces
+bit-identical metrics in every mode -- serial, parallel, batched or
+cache-replayed; :class:`ParallelRunner` only decides *where* and *in what
+grouping* jobs run, never *what* they compute.
+
+Scheduling is batch-first: the runner partitions a run's jobs into per-trace
+:class:`~repro.engine.batch.JobBatch` groups (see
+:class:`~repro.engine.batch.RunPlan`), consults the result cache per batch --
+fully-cached batches never reach a worker -- and ships each remaining batch
+as one worker task, so every fixed per-trace cost (artifact load or
+generation, SoA hoisting, processor construction) is paid once per trace
+instead of once per job.  ``batching=False`` restores the per-job
+scheduling of earlier releases.
 
 Traces move through two cache layers.  The durable layer is the
 content-addressed :class:`~repro.engine.artifacts.TraceArtifactStore`:
@@ -14,13 +26,18 @@ compiled traces (plus their static programs) persisted as ``.npz`` artifacts
 keyed by :meth:`SimulationJob.trace_key`, shared by every worker process,
 every configuration of a phase and every later invocation.  On top of it
 each process keeps a small in-memory memo (``_TRACE_MEMO``) so the jobs of
-one batch do not even touch the filesystem twice.  Loading an artifact is an
-order of magnitude cheaper than regenerating the trace, and with artifacts
-disabled the memo alone reproduces the old regenerate-per-process behaviour.
+one batch do not even touch the filesystem twice.  The memo's capacity is
+configurable (:func:`resolve_trace_memo_cap`): explicitly via
+``ParallelRunner(trace_memo_cap=...)`` or ``$REPRO_TRACE_MEMO_CAP``, and by
+default sized to the run's batch width -- a batch task keeps its one trace
+alive for its whole duration, so the wider the batches, the fewer memo
+entries are worth holding.
 """
 
 from __future__ import annotations
 
+import math
+import os
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from functools import partial
@@ -30,6 +47,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from repro.cluster.metrics import SimulationMetrics
 from repro.cluster.processor import ClusteredProcessor
 from repro.engine.artifacts import TraceArtifactStore
+from repro.engine.batch import RunPlan
 from repro.engine.cache import ResultCache
 from repro.engine.job import SimulationJob
 from repro.workloads.generator import WorkloadGenerator
@@ -52,11 +70,51 @@ AUTO_TRACE_ROOT = _AutoTraceRoot()
 #: requested a store.  Bounded so a full 40-trace suite cannot hold every
 #: generated trace alive at once.
 _TRACE_MEMO: "OrderedDict[Tuple[Optional[str], str], Tuple[object, object]]" = OrderedDict()
-_TRACE_MEMO_CAP = 16
+
+#: Default memo capacity when neither ``trace_memo_cap`` nor the environment
+#: sets one and jobs are scheduled one by one (batch width 1).
+DEFAULT_TRACE_MEMO_CAP = 16
+
+#: Environment variable overriding the memo capacity.
+TRACE_MEMO_CAP_ENV = "REPRO_TRACE_MEMO_CAP"
 
 #: Per-process artifact-store instances, one per root directory, so one
 #: worker reuses a single set of hit/miss counters across its jobs.
 _STORES: Dict[str, TraceArtifactStore] = {}
+
+#: Zeroed trace-traffic counters (template for aggregation).
+_ZERO_TRACE_STATS = {"hits": 0, "misses": 0, "stores": 0}
+
+
+def resolve_trace_memo_cap(
+    explicit: Optional[int] = None, batch_width: Optional[float] = None
+) -> int:
+    """The per-process trace-memo capacity to use for a run.
+
+    Resolution order: an explicit value (``ParallelRunner(trace_memo_cap=N)``)
+    wins, then ``$REPRO_TRACE_MEMO_CAP``, then a width-scaled default --
+    :data:`DEFAULT_TRACE_MEMO_CAP` divided by the run's mean batch width
+    (floor 2).  A batch task holds its trace alive for its whole duration,
+    so wide batches shrink the memo's useful working set: per-job scheduling
+    (width 1) keeps the classic 16 entries, an 8-configuration sweep needs
+    only a couple.  The cap never drops below 1.
+    """
+    if explicit is not None:
+        cap = int(explicit)
+    else:
+        env = os.environ.get(TRACE_MEMO_CAP_ENV)
+        if env is not None:
+            try:
+                cap = int(env)
+            except ValueError:
+                raise ValueError(
+                    f"${TRACE_MEMO_CAP_ENV} must be an integer, got {env!r}"
+                ) from None
+        elif batch_width is not None and batch_width > 1:
+            cap = max(2, math.ceil(DEFAULT_TRACE_MEMO_CAP / batch_width))
+        else:
+            cap = DEFAULT_TRACE_MEMO_CAP
+    return max(1, cap)
 
 
 def trace_store_for(root: Union[str, Path, None]) -> Optional[TraceArtifactStore]:
@@ -75,6 +133,7 @@ def _trace_for(
     job: SimulationJob,
     trace_root: Optional[str] = None,
     store: Optional[TraceArtifactStore] = None,
+    memo_cap: Optional[int] = None,
 ):
     """The program and compiled trace of ``job``'s phase: memo, store, or fresh.
 
@@ -86,6 +145,7 @@ def _trace_for(
     """
     if store is None:
         store = trace_store_for(trace_root)
+    cap = memo_cap if memo_cap is not None else resolve_trace_memo_cap()
     root_key = str(store.root) if store is not None else None
     trace_key = job.trace_key()
     memo_key = (root_key, trace_key)
@@ -101,27 +161,19 @@ def _trace_for(
         if store is not None:
             store.put(trace_key, program, compiled)
     _TRACE_MEMO[memo_key] = entry
-    while len(_TRACE_MEMO) > _TRACE_MEMO_CAP:
+    while len(_TRACE_MEMO) > cap:
         _TRACE_MEMO.popitem(last=False)
     return entry
 
 
-def execute_job(
-    job: SimulationJob,
-    trace_root: Optional[str] = None,
-    trace_store: Optional[TraceArtifactStore] = None,
-) -> Dict[str, object]:
-    """Run one simulation job and return the lossless metrics dump.
+def _prepare_job(job: SimulationJob, program, compiled):
+    """Annotate ``program``/``compiled`` for ``job`` and build its run-time policy.
 
-    This is the engine's only execution path; it reproduces the serial
-    runner's per-phase sequence exactly: load/build the compiled phase trace,
-    annotate the program with the configuration's compile-time pass (or clear
-    stale annotations for hardware-only schemes), scatter the annotations
-    into the compiled trace, instantiate the run-time policy and the machine,
-    simulate.  The dict return type keeps the cross-process payload plain
-    (cheap to pickle, schema-checked on rebuild).
+    The shared per-configuration sequence of both execution paths: run the
+    configuration's compile-time pass (or clear stale annotations for
+    hardware-only schemes), scatter the annotations into the compiled trace,
+    instantiate the policy.
     """
-    program, compiled = _trace_for(job, trace_root, trace_store)
     configuration = job.configuration
     partitioner = configuration.make_partitioner(
         job.num_clusters, job.num_virtual_clusters, job.region_size
@@ -131,20 +183,103 @@ def execute_job(
     else:
         program.clear_annotations()
     compiled.annotate_from(program)
-    policy = configuration.make_policy(job.num_clusters, job.num_virtual_clusters)
+    return configuration.make_policy(job.num_clusters, job.num_virtual_clusters)
+
+
+def execute_job(
+    job: SimulationJob,
+    trace_root: Optional[str] = None,
+    trace_store: Optional[TraceArtifactStore] = None,
+    memo_cap: Optional[int] = None,
+) -> Dict[str, object]:
+    """Run one simulation job and return the lossless metrics dump.
+
+    The per-job execution path (and the reference semantics batching must
+    reproduce): load/build the compiled phase trace, annotate, instantiate
+    the policy and a fresh machine, simulate.  The dict return type keeps the
+    cross-process payload plain (cheap to pickle, schema-checked on rebuild).
+    """
+    program, compiled = _trace_for(job, trace_root, trace_store, memo_cap)
+    policy = _prepare_job(job, program, compiled)
     processor = ClusteredProcessor(job.machine_config(), policy, job.register_space)
     return processor.run(compiled).to_dict()
 
 
+def execute_batch(
+    jobs: Sequence[SimulationJob],
+    trace_root: Optional[str] = None,
+    trace_store: Optional[TraceArtifactStore] = None,
+    memo_cap: Optional[int] = None,
+) -> Dict[str, object]:
+    """Run all ``jobs`` of one trace batch and return their metrics dumps.
+
+    The batch execution path: every job shares one
+    :meth:`~repro.engine.job.SimulationJob.trace_key`, so the compiled trace
+    is fetched (memo, artifact store, or generated) exactly once, and one
+    :class:`ClusteredProcessor` per distinct machine geometry is bound to it
+    and reused across configurations via :meth:`ClusteredProcessor.run_bound`
+    -- architectural state is reset between runs while the hoisted SoA
+    columns stay alive.  Per job the sequence (annotate program, scatter
+    annotations, build policy, simulate from clean state) is exactly
+    :func:`execute_job`'s, so dumps are bit-identical to per-job execution.
+
+    Returns ``{"dumps": [...], "trace_stats": {...} | None}``; ``dumps`` are
+    in job order and ``trace_stats`` is this task's artifact-store traffic
+    delta (for parent-side aggregation across workers).
+    """
+    if not jobs:
+        return {"dumps": [], "trace_stats": None}
+    trace_key = jobs[0].trace_key()
+    strays = [job.label for job in jobs[1:] if job.trace_key() != trace_key]
+    if strays:
+        raise ValueError(
+            f"execute_batch needs jobs sharing one trace_key; {strays} differ "
+            f"from {jobs[0].label} (group jobs with RunPlan.from_jobs first)"
+        )
+    store = trace_store if trace_store is not None else trace_store_for(trace_root)
+    snapshot = store.stats() if store is not None else None
+    program, compiled = _trace_for(jobs[0], trace_root, store, memo_cap)
+    processors: Dict[Tuple[object, ...], ClusteredProcessor] = {}
+    dumps: List[Dict[str, object]] = []
+    for job in jobs:
+        policy = _prepare_job(job, program, compiled)
+        key = job.machine_key()
+        processor = processors.get(key)
+        if processor is None:
+            processor = ClusteredProcessor(job.machine_config(), policy, job.register_space)
+            processor.bind(compiled)
+            processors[key] = processor
+        dumps.append(processor.run_bound(policy).to_dict())
+    return {
+        "dumps": dumps,
+        "trace_stats": store.stats_since(snapshot) if store is not None else None,
+    }
+
+
+def _execute_job_task(
+    job: SimulationJob,
+    trace_root: Optional[str] = None,
+    memo_cap: Optional[int] = None,
+) -> Dict[str, object]:
+    """Worker wrapper around :func:`execute_job` that also reports store traffic."""
+    store = trace_store_for(trace_root)
+    snapshot = store.stats() if store is not None else None
+    dump = execute_job(job, trace_root=trace_root, trace_store=store, memo_cap=memo_cap)
+    return {
+        "dumps": [dump],
+        "trace_stats": store.stats_since(snapshot) if store is not None else None,
+    }
+
+
 class ParallelRunner:
-    """Fan simulation jobs out over processes, with optional result caching.
+    """Fan simulation batches out over processes, with optional result caching.
 
     Parameters
     ----------
     max_workers:
-        Worker processes.  ``1`` (the default) executes jobs inline in the
-        calling process -- the serial fallback -- and is bit-identical to any
-        parallel run of the same jobs.
+        Worker processes.  ``1`` (the default) executes everything inline in
+        the calling process -- the serial fallback -- and is bit-identical to
+        any parallel run of the same jobs.
     cache:
         Optional :class:`~repro.engine.cache.ResultCache`; hits skip
         simulation entirely, results of fresh runs are stored back.
@@ -154,6 +289,17 @@ class ParallelRunner:
         result cache (``<cache root>/traces``) and disables artifacts when
         there is no cache; ``None`` disables artifacts explicitly (workers
         regenerate traces from their seeds, as before).
+    batching:
+        ``True`` (the default) schedules per-trace batches: jobs are grouped
+        by :meth:`~repro.engine.job.SimulationJob.trace_key`, the cache is
+        consulted per batch, and one worker task runs all uncached
+        configurations of a trace against a single in-memory compiled trace.
+        ``False`` restores per-job scheduling.  Results are bit-identical
+        either way.
+    trace_memo_cap:
+        Capacity of the per-process in-memory trace memo; ``None`` (default)
+        resolves ``$REPRO_TRACE_MEMO_CAP`` or a batch-width-scaled default
+        (see :func:`resolve_trace_memo_cap`).
     """
 
     def __init__(
@@ -161,17 +307,34 @@ class ParallelRunner:
         max_workers: int = 1,
         cache: Optional[ResultCache] = None,
         trace_root: Union[str, Path, None] = AUTO_TRACE_ROOT,
+        batching: bool = True,
+        trace_memo_cap: Optional[int] = None,
     ) -> None:
         if max_workers < 1:
             raise ValueError("max_workers must be at least 1")
+        if trace_memo_cap is not None and trace_memo_cap < 1:
+            raise ValueError("trace_memo_cap must be at least 1")
         self.max_workers = max_workers
         self.cache = cache
+        self.batching = batching
+        self.trace_memo_cap = trace_memo_cap
         if trace_root is AUTO_TRACE_ROOT:
             trace_root = cache.root / "traces" if cache is not None else None
         self.trace_root: Optional[str] = None if trace_root is None else str(trace_root)
         self._trace_store: Optional[TraceArtifactStore] = (
             TraceArtifactStore(self.trace_root) if self.trace_root is not None else None
         )
+        self._worker_trace_stats: Dict[str, int] = dict(_ZERO_TRACE_STATS)
+        #: Cumulative batch-scheduling counters across this runner's runs
+        #: (the CLI ``[batch]`` footer): distinct traces, total jobs, widest
+        #: batch, and how many batches/jobs the cache served outright.
+        self.batch_stats: Dict[str, int] = {
+            "batches": 0,
+            "jobs": 0,
+            "max_width": 0,
+            "cached_batches": 0,
+            "cached_jobs": 0,
+        }
         self._pool: Optional[ProcessPoolExecutor] = None
 
     @property
@@ -180,10 +343,31 @@ class ParallelRunner:
 
         A per-runner instance (not the per-process worker registry), so its
         hit/miss counters describe exactly this runner's serial traffic --
-        like the result cache's counters.  Parallel runs touch the store
-        from the worker processes, which keep their own counters.
+        like the result cache's counters.  Worker-side traffic is aggregated
+        separately; :meth:`trace_stats` sums both.
         """
         return self._trace_store
+
+    def trace_stats(self) -> Dict[str, int]:
+        """Aggregated artifact-store traffic of this runner's runs.
+
+        Sums the runner's own (serial/inline) store counters with the
+        per-task deltas reported back by worker processes, so parallel runs
+        account their trace loads and generations exactly like serial ones.
+        """
+        totals = dict(self._worker_trace_stats)
+        if self._trace_store is not None:
+            for name, value in self._trace_store.stats().items():
+                totals[name] += value
+        return totals
+
+    def _absorb_task_result(self, result: Dict[str, object]) -> List[Dict[str, object]]:
+        """Fold one worker task's trace traffic into the totals; return its dumps."""
+        stats = result.get("trace_stats")
+        if stats:
+            for name in self._worker_trace_stats:
+                self._worker_trace_stats[name] += stats.get(name, 0)
+        return result["dumps"]
 
     def _get_pool(self) -> ProcessPoolExecutor:
         """The worker pool, created lazily and reused across :meth:`run` calls.
@@ -210,51 +394,138 @@ class ParallelRunner:
         Configurations are declarative (registry names + parameters), so
         *every* job -- stock Table 3, variants, and user-registered custom
         policies alike -- may be served from the cache or fanned out to
-        worker processes.
+        worker processes.  With batching enabled the jobs are regrouped into
+        per-trace batches for execution; the returned list is always in the
+        callers' job order (batching is a scheduling concern only).
         """
         results: List[Optional[SimulationMetrics]] = [None] * len(jobs)
-        pending: List[int] = []
         keys: List[Optional[str]] = [None] * len(jobs)
-        for index, job in enumerate(jobs):
-            if self.cache is not None:
-                keys[index] = job.cache_key()
-                cached = self.cache.get(keys[index])
+        if self.cache is not None:
+            keys = [job.cache_key() for job in jobs]
+            pending = []
+            for index, cached in enumerate(self.cache.get_many(keys)):
                 if cached is not None:
                     results[index] = cached
-                    continue
-            pending.append(index)
+                else:
+                    pending.append(index)
+        else:
+            pending = list(range(len(jobs)))
 
-        if pending:
-            if self.max_workers == 1 or len(pending) == 1:
-                dumps = [
-                    execute_job(
-                        jobs[index],
-                        trace_root=self.trace_root,
-                        trace_store=self._trace_store,
-                    )
-                    for index in pending
-                ]
-            else:
-                # Sort so jobs sharing a trace are adjacent and chunk the map
-                # accordingly: a worker then receives a phase's configurations
-                # together and loads (or generates and stores) the compiled
-                # trace once -- the per-process memo and the shared artifact
-                # store do the rest.  Results stay index-aligned via `pending`.
-                pending.sort(key=lambda index: (jobs[index].trace_key(), index))
-                chunksize = max(1, len(pending) // (self.max_workers * 4))
-                pool = self._get_pool()
-                dumps = list(
-                    pool.map(
-                        partial(execute_job, trace_root=self.trace_root),
-                        [jobs[index] for index in pending],
-                        chunksize=chunksize,
-                    )
-                )
-            for index, dump in zip(pending, dumps):
-                metrics = SimulationMetrics.from_dict(dump)
-                results[index] = metrics
-                if self.cache is not None:
-                    self.cache.put(keys[index], metrics)
+        if self.batching:
+            self._run_batched(jobs, pending, keys, results)
+        elif pending:
+            self._run_per_job(jobs, pending, keys, results)
 
         assert all(metrics is not None for metrics in results)
         return results  # every slot is filled: cached, inline, or executed above
+
+    def _store_result(
+        self,
+        index: int,
+        dump: Dict[str, object],
+        keys: List[Optional[str]],
+        results: List[Optional[SimulationMetrics]],
+    ) -> None:
+        metrics = SimulationMetrics.from_dict(dump)
+        results[index] = metrics
+        if self.cache is not None:
+            self.cache.put(keys[index], metrics)
+
+    def _run_batched(
+        self,
+        jobs: Sequence[SimulationJob],
+        pending: List[int],
+        keys: List[Optional[str]],
+        results: List[Optional[SimulationMetrics]],
+    ) -> None:
+        """Execute the uncached jobs as per-trace batches.
+
+        One plan serves both purposes: its batches (narrowed to their
+        uncached jobs) are the work units, and its shape feeds the footer
+        counters -- fully-cached batches are counted and never reach a
+        worker.
+        """
+        plan = RunPlan.from_jobs(jobs)
+        stats = self.batch_stats
+        stats["batches"] += plan.num_traces
+        stats["jobs"] += plan.num_jobs
+        stats["max_width"] = max(stats["max_width"], plan.max_width)
+        pending_set = set(pending)
+        tasks: List[Tuple[List[int], Tuple[SimulationJob, ...]]] = []
+        for batch in plan.batches:
+            indices = [index for index in batch.indices if index in pending_set]
+            if not indices:
+                stats["cached_batches"] += 1
+                stats["cached_jobs"] += batch.width
+            else:
+                tasks.append(
+                    (indices, tuple(jobs[index] for index in indices))
+                )
+        if not tasks:
+            return
+        memo_cap = resolve_trace_memo_cap(self.trace_memo_cap, plan.mean_width)
+        if self.max_workers == 1 or len(tasks) == 1:
+            # Inline tasks hit this runner's own store, whose counters are
+            # already reported by trace_stats(); absorbing their deltas too
+            # would double-count, so read the dumps directly.
+            all_dumps = [
+                execute_batch(
+                    task_jobs,
+                    trace_root=self.trace_root,
+                    trace_store=self._trace_store,
+                    memo_cap=memo_cap,
+                )["dumps"]
+                for _, task_jobs in tasks
+            ]
+        else:
+            pool = self._get_pool()
+            all_dumps = [
+                self._absorb_task_result(result)
+                for result in pool.map(
+                    partial(
+                        execute_batch, trace_root=self.trace_root, memo_cap=memo_cap
+                    ),
+                    [task_jobs for _, task_jobs in tasks],
+                    chunksize=1,
+                )
+            ]
+        for (indices, _), dumps in zip(tasks, all_dumps):
+            for index, dump in zip(indices, dumps):
+                self._store_result(index, dump, keys, results)
+
+    def _run_per_job(
+        self,
+        jobs: Sequence[SimulationJob],
+        pending: List[int],
+        keys: List[Optional[str]],
+        results: List[Optional[SimulationMetrics]],
+    ) -> None:
+        """Legacy per-job scheduling (``batching=False``)."""
+        memo_cap = resolve_trace_memo_cap(self.trace_memo_cap)
+        if self.max_workers == 1 or len(pending) == 1:
+            for index in pending:
+                dump = execute_job(
+                    jobs[index],
+                    trace_root=self.trace_root,
+                    trace_store=self._trace_store,
+                    memo_cap=memo_cap,
+                )
+                self._store_result(index, dump, keys, results)
+            return
+        # Sort so jobs sharing a trace are adjacent and chunk the map
+        # accordingly: a worker then receives a phase's configurations
+        # together and loads (or generates and stores) the compiled trace
+        # once -- the per-process memo and the shared artifact store do the
+        # rest.  Results stay index-aligned via `pending`.
+        pending = sorted(pending, key=lambda index: (jobs[index].trace_key(), index))
+        chunksize = max(1, len(pending) // (self.max_workers * 4))
+        pool = self._get_pool()
+        for index, result in zip(
+            pending,
+            pool.map(
+                partial(_execute_job_task, trace_root=self.trace_root, memo_cap=memo_cap),
+                [jobs[index] for index in pending],
+                chunksize=chunksize,
+            ),
+        ):
+            self._store_result(index, self._absorb_task_result(result)[0], keys, results)

@@ -124,11 +124,15 @@ class ExperimentRunner:
         instead of regenerating phase traces.  The default derives it from
         the result cache (``<cache_dir>/traces``; no artifacts without a
         cache); ``None`` disables artifacts explicitly.
+    batching:
+        Schedule per-trace batches (the default) or per-job
+        (``batching=False``); results are bit-identical either way (see
+        :class:`~repro.engine.parallel.ParallelRunner`).
     engine:
         Pre-built :class:`~repro.engine.parallel.ParallelRunner` to use
         instead of constructing one from ``jobs`` / ``cache_dir`` /
-        ``trace_dir`` (lets several runners share one cache and its
-        statistics).
+        ``trace_dir`` / ``batching`` (lets several runners share one cache
+        and its statistics).
     """
 
     def __init__(
@@ -138,13 +142,16 @@ class ExperimentRunner:
         jobs: int = 1,
         cache_dir: Optional[str] = None,
         trace_dir: Optional[str] = AUTO_TRACE_ROOT,
+        batching: bool = True,
         engine: Optional[ParallelRunner] = None,
     ) -> None:
         self.settings = settings or ExperimentSettings()
         self.register_space = register_space
         if engine is None:
             cache = ResultCache(cache_dir) if cache_dir is not None else None
-            engine = ParallelRunner(max_workers=jobs, cache=cache, trace_root=trace_dir)
+            engine = ParallelRunner(
+                max_workers=jobs, cache=cache, trace_root=trace_dir, batching=batching
+            )
         self.engine = engine
 
     # -- job expansion ----------------------------------------------------------------

@@ -45,6 +45,7 @@ def run_scenario(
     jobs: int = 1,
     cache_dir: Optional[str] = None,
     trace_dir: Optional[str] = AUTO_TRACE_ROOT,
+    batching: bool = True,
 ) -> str:
     """Execute ``spec`` and return its report text.
 
@@ -55,7 +56,7 @@ def run_scenario(
     engine:
         Pre-built engine to use (lets callers share one worker pool and
         cache across scenarios); built from ``jobs`` / ``cache_dir`` /
-        ``trace_dir`` when omitted.
+        ``trace_dir`` / ``batching`` when omitted.
     jobs / cache_dir:
         Engine knobs when no engine is passed: worker processes (results are
         bit-identical for any count) and the optional on-disk result cache.
@@ -63,10 +64,15 @@ def run_scenario(
         Directory of the shared compiled-trace artifacts (see
         :class:`~repro.engine.artifacts.TraceArtifactStore`).  Defaults to
         ``<cache_dir>/traces``; pass ``None`` to regenerate traces instead.
+    batching:
+        Schedule the scenario's jobs as per-trace batches (default) or
+        per-job; results are bit-identical either way.
     """
     if engine is None:
         cache = ResultCache(cache_dir) if cache_dir is not None else None
-        engine = ParallelRunner(max_workers=jobs, cache=cache, trace_root=trace_dir)
+        engine = ParallelRunner(
+            max_workers=jobs, cache=cache, trace_root=trace_dir, batching=batching
+        )
     handler = REPORT_KINDS.get(spec.report)
     return handler(spec, engine)
 

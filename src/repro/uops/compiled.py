@@ -248,6 +248,10 @@ class CompiledTrace:
         """Per-µop functional-unit latency as plain ints."""
         return self._cached("latency", self.latency.tolist)
 
+    def seq_list(self) -> List[int]:
+        """Per-µop sequence number as plain ints."""
+        return self._cached("seq", self.seq.tolist)
+
     def address_list(self) -> List[int]:
         """Per-µop effective address as plain ints."""
         return self._cached("address", self.address.tolist)
@@ -505,7 +509,7 @@ class CompiledUopView:
         self._vc_ids = trace.vc_id_list()
         self._leaders = trace.chain_leader_list()
         self._static_clusters = trace.static_cluster_list()
-        self._seqs = trace.seq.tolist()
+        self._seqs = trace.seq_list()
 
     # The property set mirrors DynamicUop, so existing policies (including
     # user-registered ones) work unchanged on the compiled path.

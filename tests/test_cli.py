@@ -33,6 +33,72 @@ class TestParser:
             assert callable(args.handler)
 
 
+class TestBatchOptions:
+    def test_batching_is_the_default(self):
+        from repro.cli import _engine
+
+        args = build_parser().parse_args(["quickstart", "--no-cache"])
+        assert args.batch is True
+        assert _engine(args).batching is True
+
+    def test_no_batch_disables_batching(self):
+        from repro.cli import _engine
+
+        args = build_parser().parse_args(["quickstart", "--no-cache", "--no-batch"])
+        assert args.batch is False
+        assert _engine(args).batching is False
+
+    def test_batch_footer_printed(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert (
+            main(
+                [
+                    "quickstart",
+                    "--benchmark",
+                    "164.gzip-1",
+                    "--trace-length",
+                    "400",
+                    "--no-cache",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        # One trace, the five Table 3 configurations, nothing cached.
+        assert "[batch] traces=1 configs=5 max-width=5 fully-cached-batches=0" in out
+
+    def test_no_batch_footer_with_no_batch(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert (
+            main(
+                [
+                    "quickstart",
+                    "--benchmark",
+                    "164.gzip-1",
+                    "--trace-length",
+                    "400",
+                    "--no-cache",
+                    "--no-batch",
+                ]
+            )
+            == 0
+        )
+        assert "[batch]" not in capsys.readouterr().out
+
+    def test_batched_and_per_job_reports_identical(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        argv = ["quickstart", "--benchmark", "164.gzip-1", "--trace-length", "400", "--no-cache"]
+        assert main(argv) == 0
+        batched = capsys.readouterr().out
+        assert main(argv + ["--no-batch"]) == 0
+        per_job = capsys.readouterr().out
+        # Identical up to the scheduling footer.
+        def strip(text):
+            return [line for line in text.splitlines() if not line.startswith("[batch]")]
+
+        assert strip(batched) == strip(per_job)
+
+
 class TestCacheDirResolution:
     """$REPRO_CACHE_DIR is read when the command runs, not at import time."""
 
