@@ -70,6 +70,16 @@ engine (:mod:`repro.engine`) and accepts three knobs:
     all its configurations against a single in-memory compiled trace on one
     reused processor.  Bit-identical to ``--no-batch`` (per-job scheduling);
     reports end with a ``[batch] traces=... configs=...`` footer.
+
+``--shared-mem`` / ``--no-shared-mem``
+    Shared-memory trace residency for parallel batched runs (on by default
+    where the platform supports it): each distinct compiled trace is
+    published once into a ``multiprocessing.shared_memory`` segment and
+    workers attach by name as zero-copy views, instead of every worker
+    acquiring the trace on its own.  Segments are unlinked when the run's
+    engine shuts down; reports end with a ``[shm] segments=... bytes=...``
+    footer when segments were used.  Bit-identical to ``--no-shared-mem``
+    (the pickle path).
 """
 
 from __future__ import annotations
@@ -139,6 +149,7 @@ def _engine(args: argparse.Namespace) -> ParallelRunner:
         cache=cache,
         trace_root=_trace_root(args),
         batching=getattr(args, "batch", True),
+        shared_memory=getattr(args, "shared_mem", None),
     )
 
 
@@ -174,13 +185,24 @@ def _engine_footer(engine: ParallelRunner) -> str:
     if engine.batching:
         batch_stats = engine.batch_stats
         if batch_stats["jobs"] > 0:
+            # The counters are kept consistent by the engine:
+            # configs == executed + cached in every scheduling combination.
             footer += (
                 f"[batch] traces={batch_stats['batches']} configs={batch_stats['jobs']} "
+                f"executed={batch_stats['executed_jobs']} cached={batch_stats['cached_jobs']} "
                 f"max-width={batch_stats['max_width']} "
                 f"fully-cached-batches={batch_stats['cached_batches']}  "
                 "(each batch runs all configurations of one trace; "
                 "--no-batch restores per-job scheduling)\n"
             )
+    shm_stats = engine.shm_stats()
+    if shm_stats["published"] + shm_stats["reused"] > 0:
+        footer += (
+            f"[shm] segments={shm_stats['segments']} bytes={shm_stats['bytes']} "
+            f"published={shm_stats['published']} reused={shm_stats['reused']}  "
+            "(compiled traces resident in shared memory; workers attach "
+            "zero-copy; --no-shared-mem restores the pickle path)\n"
+        )
     return footer
 
 
@@ -256,6 +278,21 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
         action="store_false",
         help="schedule jobs one by one instead of per-trace batches",
     )
+    parser.add_argument(
+        "--shared-mem",
+        dest="shared_mem",
+        action="store_true",
+        default=None,
+        help="publish each compiled trace once into shared memory so parallel "
+        "workers attach zero-copy (default: on where the platform supports "
+        "it; bit-identical either way)",
+    )
+    parser.add_argument(
+        "--no-shared-mem",
+        dest="shared_mem",
+        action="store_false",
+        help="ship traces over the classic pickle path instead of shared memory",
+    )
 
 
 def _add_common_options(
@@ -306,7 +343,13 @@ def _execute_spec(spec: ScenarioSpec, args: argparse.Namespace) -> str:
         report = run_scenario(spec, engine)
     except (ValueError, TypeError) as exc:
         raise SystemExit(f"cannot run scenario {spec.name!r}: {exc}")
-    return report + _engine_footer(engine)
+    finally:
+        # Read the footer before releasing the substrate: shutdown unlinks
+        # the resident shared-memory segments (so nothing outlives the
+        # command), while the cumulative footer counters survive it.
+        footer = _engine_footer(engine)
+        engine.shutdown()
+    return report + footer
 
 
 def _run_spec(spec: ScenarioSpec, args: argparse.Namespace) -> str:

@@ -33,12 +33,26 @@ the cache-replay path:
     distinct trace key (deterministic order, job order preserved), so fixed
     per-trace costs are paid once per trace instead of once per job.
 
+``SharedTraceSegment`` / ``SegmentRegistry`` (:mod:`repro.engine.shm`)
+    The shared-memory substrate: each distinct compiled trace published once
+    into a ``multiprocessing.shared_memory`` block (refcounted, unlinked on
+    release), which warm workers attach to by name as zero-copy numpy views
+    -- no column bytes cross the task queue, and segments stay resident
+    across runs.
+
+``WorkerPool`` (:mod:`repro.engine.pool`)
+    The persistent process pool: spawned once per runner, reused across
+    runs, transparently respawned after ``shutdown()`` or a worker crash,
+    context-manager friendly.
+
 ``ParallelRunner`` (:mod:`repro.engine.parallel`)
     Expands nothing and decides nothing about results -- it only chooses
     where and in what grouping jobs run (inline for ``max_workers=1``, else
-    a ``ProcessPoolExecutor``; per-trace batches by default, per-job with
-    ``batching=False``) and consults the caches first, per batch, so
-    fully-cached batches never reach a worker.
+    the persistent pool; per-trace batches by default, per-job with
+    ``batching=False``; shared-memory segments where available, the pickle
+    path otherwise) and consults the caches first, per batch, so
+    fully-cached batches never reach a worker.  ``run_stream`` delivers
+    results per batch as tasks complete instead of at a barrier.
 
 Determinism contract
 --------------------
@@ -78,6 +92,12 @@ from repro.engine.parallel import (
     execute_job,
     resolve_trace_memo_cap,
 )
+from repro.engine.pool import WorkerPool
+from repro.engine.shm import (
+    SegmentRegistry,
+    SharedTraceSegment,
+    shared_memory_available,
+)
 
 __all__ = [
     "AUTO_TRACE_ROOT",
@@ -89,9 +109,13 @@ __all__ = [
     "ParallelRunner",
     "ResultCache",
     "RunPlan",
+    "SegmentRegistry",
+    "SharedTraceSegment",
     "SimulationJob",
     "TraceArtifactStore",
+    "WorkerPool",
     "execute_batch",
     "execute_job",
     "resolve_trace_memo_cap",
+    "shared_memory_available",
 ]

@@ -101,7 +101,7 @@ class TraceArtifactStore:
         """Store ``(program, trace)`` under ``key`` (atomic, last-writer-wins)."""
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        payload = {name: getattr(trace, name) for name in CompiledTrace.STORED_FIELDS}
+        payload = dict(trace.stored_columns())
         payload["program_pickle"] = np.frombuffer(
             pickle.dumps(program, protocol=pickle.HIGHEST_PROTOCOL), dtype=np.uint8
         )

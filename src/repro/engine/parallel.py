@@ -1,4 +1,4 @@
-"""Job execution: inline serial runs and process-pool fan-out.
+"""Job execution: inline serial runs and persistent-pool fan-out.
 
 :func:`execute_job` turns one :class:`~repro.engine.job.SimulationJob` into
 metrics; :func:`execute_batch` does the same for *all* configurations of one
@@ -7,9 +7,9 @@ trace at once, against a single in-memory
 :class:`~repro.cluster.processor.ClusteredProcessor` (the
 ``bind``/``run_bound`` path).  Because trace generation is fully seeded
 (profile + phase) and the simulator is deterministic, the same job produces
-bit-identical metrics in every mode -- serial, parallel, batched or
-cache-replayed; :class:`ParallelRunner` only decides *where* and *in what
-grouping* jobs run, never *what* they compute.
+bit-identical metrics in every mode -- serial, parallel, batched,
+shared-memory or cache-replayed; :class:`ParallelRunner` only decides
+*where* and *in what grouping* jobs run, never *what* they compute.
 
 Scheduling is batch-first: the runner partitions a run's jobs into per-trace
 :class:`~repro.engine.batch.JobBatch` groups (see
@@ -20,13 +20,27 @@ generation, SoA hoisting, processor construction) is paid once per trace
 instead of once per job.  ``batching=False`` restores the per-job
 scheduling of earlier releases.
 
-Traces move through two cache layers.  The durable layer is the
-content-addressed :class:`~repro.engine.artifacts.TraceArtifactStore`:
-compiled traces (plus their static programs) persisted as ``.npz`` artifacts
-keyed by :meth:`SimulationJob.trace_key`, shared by every worker process,
-every configuration of a phase and every later invocation.  On top of it
-each process keeps a small in-memory memo (``_TRACE_MEMO``) so the jobs of
-one batch do not even touch the filesystem twice.  The memo's capacity is
+Parallel batches ride a **persistent substrate**: the runner's
+:class:`~repro.engine.pool.WorkerPool` outlives individual :meth:`run` calls
+(``shutdown()`` pauses it; the next run transparently respawns), and with
+shared memory enabled (the default where available) each distinct trace is
+published exactly once into a :class:`~repro.engine.shm.SharedTraceSegment`
+that warm workers attach to by name -- no column bytes travel through the
+task queue or the filesystem, and segments stay resident across runs until
+the runner shuts down.  Results stream back per batch as tasks complete
+(:meth:`ParallelRunner.run_stream`), rather than materialising at a single
+barrier.  Where shared memory is unavailable (or disabled with
+``shared_memory=False``) the engine falls back to the classic pickle path:
+workers acquire traces themselves from the artifact store or by
+regeneration.
+
+Traces also move through two durable cache layers.  The content-addressed
+:class:`~repro.engine.artifacts.TraceArtifactStore` persists compiled traces
+(plus their static programs) as ``.npz`` artifacts keyed by
+:meth:`SimulationJob.trace_key`, shared by every worker process, every
+configuration of a phase and every later invocation.  On top of it each
+process keeps a small in-memory memo (``_TRACE_MEMO``) so the jobs of one
+batch do not even touch the filesystem twice.  The memo's capacity is
 configurable (:func:`resolve_trace_memo_cap`): explicitly via
 ``ParallelRunner(trace_memo_cap=...)`` or ``$REPRO_TRACE_MEMO_CAP``, and by
 default sized to the run's batch width -- a batch task keeps its one trace
@@ -38,11 +52,14 @@ from __future__ import annotations
 
 import math
 import os
+import warnings
+import weakref
 from collections import OrderedDict
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import as_completed
+from concurrent.futures.process import BrokenProcessPool
 from functools import partial
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.cluster.metrics import SimulationMetrics
 from repro.cluster.processor import ClusteredProcessor
@@ -50,6 +67,8 @@ from repro.engine.artifacts import TraceArtifactStore
 from repro.engine.batch import RunPlan
 from repro.engine.cache import ResultCache
 from repro.engine.job import SimulationJob
+from repro.engine.pool import WorkerPool
+from repro.engine.shm import SegmentRegistry, attach_segment, shared_memory_available
 from repro.workloads.generator import WorkloadGenerator
 
 class _AutoTraceRoot:
@@ -85,6 +104,40 @@ _STORES: Dict[str, TraceArtifactStore] = {}
 #: Zeroed trace-traffic counters (template for aggregation).
 _ZERO_TRACE_STATS = {"hits": 0, "misses": 0, "stores": 0}
 
+#: Zeroed shared-memory counters (template for :meth:`ParallelRunner.shm_stats`).
+_ZERO_SHM_STATS = {"segments": 0, "bytes": 0, "published": 0, "reused": 0, "unlinked": 0}
+
+
+def _env_trace_memo_cap() -> Optional[int]:
+    """``$REPRO_TRACE_MEMO_CAP`` as a validated capacity, or ``None``.
+
+    A malformed or non-positive value cannot crash (or silently misconfigure)
+    a run that never asked for a custom cap: it warns once per resolution and
+    falls back to the width-scaled default.
+    """
+    env = os.environ.get(TRACE_MEMO_CAP_ENV)
+    if env is None:
+        return None
+    try:
+        cap = int(env)
+    except ValueError:
+        warnings.warn(
+            f"${TRACE_MEMO_CAP_ENV}={env!r} is not an integer; "
+            "ignoring it and using the width-scaled default",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return None
+    if cap < 1:
+        warnings.warn(
+            f"${TRACE_MEMO_CAP_ENV}={env!r} must be a positive integer; "
+            "ignoring it and using the width-scaled default",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return None
+    return cap
+
 
 def resolve_trace_memo_cap(
     explicit: Optional[int] = None, batch_width: Optional[float] = None
@@ -92,7 +145,8 @@ def resolve_trace_memo_cap(
     """The per-process trace-memo capacity to use for a run.
 
     Resolution order: an explicit value (``ParallelRunner(trace_memo_cap=N)``)
-    wins, then ``$REPRO_TRACE_MEMO_CAP``, then a width-scaled default --
+    wins, then a *valid* ``$REPRO_TRACE_MEMO_CAP`` (malformed or non-positive
+    values warn and are ignored), then a width-scaled default --
     :data:`DEFAULT_TRACE_MEMO_CAP` divided by the run's mean batch width
     (floor 2).  A batch task holds its trace alive for its whole duration,
     so wide batches shrink the memo's useful working set: per-job scheduling
@@ -102,18 +156,12 @@ def resolve_trace_memo_cap(
     if explicit is not None:
         cap = int(explicit)
     else:
-        env = os.environ.get(TRACE_MEMO_CAP_ENV)
-        if env is not None:
-            try:
-                cap = int(env)
-            except ValueError:
-                raise ValueError(
-                    f"${TRACE_MEMO_CAP_ENV} must be an integer, got {env!r}"
-                ) from None
-        elif batch_width is not None and batch_width > 1:
-            cap = max(2, math.ceil(DEFAULT_TRACE_MEMO_CAP / batch_width))
-        else:
-            cap = DEFAULT_TRACE_MEMO_CAP
+        cap = _env_trace_memo_cap()
+        if cap is None:
+            if batch_width is not None and batch_width > 1:
+                cap = max(2, math.ceil(DEFAULT_TRACE_MEMO_CAP / batch_width))
+            else:
+                cap = DEFAULT_TRACE_MEMO_CAP
     return max(1, cap)
 
 
@@ -205,40 +253,25 @@ def execute_job(
     return processor.run(compiled).to_dict()
 
 
-def execute_batch(
-    jobs: Sequence[SimulationJob],
-    trace_root: Optional[str] = None,
-    trace_store: Optional[TraceArtifactStore] = None,
-    memo_cap: Optional[int] = None,
-) -> Dict[str, object]:
-    """Run all ``jobs`` of one trace batch and return their metrics dumps.
+def _simulate_batch(jobs: Sequence[SimulationJob], program, compiled) -> List[Dict[str, object]]:
+    """Run all ``jobs`` of one batch against an already-resident trace.
 
-    The batch execution path: every job shares one
-    :meth:`~repro.engine.job.SimulationJob.trace_key`, so the compiled trace
-    is fetched (memo, artifact store, or generated) exactly once, and one
-    :class:`ClusteredProcessor` per distinct machine geometry is bound to it
-    and reused across configurations via :meth:`ClusteredProcessor.run_bound`
-    -- architectural state is reset between runs while the hoisted SoA
-    columns stay alive.  Per job the sequence (annotate program, scatter
-    annotations, build policy, simulate from clean state) is exactly
-    :func:`execute_job`'s, so dumps are bit-identical to per-job execution.
-
-    Returns ``{"dumps": [...], "trace_stats": {...} | None}``; ``dumps`` are
-    in job order and ``trace_stats`` is this task's artifact-store traffic
-    delta (for parent-side aggregation across workers).
+    The shared inner loop of the pickle and shared-memory batch paths: one
+    :class:`ClusteredProcessor` per distinct machine geometry is bound to
+    the trace and reused across configurations via
+    :meth:`ClusteredProcessor.run_bound` -- architectural state is reset
+    between runs while the hoisted SoA columns stay alive.  Per job the
+    sequence (annotate program, scatter annotations, build policy, simulate
+    from clean state) is exactly :func:`execute_job`'s, so dumps are
+    bit-identical to per-job execution.
     """
-    if not jobs:
-        return {"dumps": [], "trace_stats": None}
     trace_key = jobs[0].trace_key()
     strays = [job.label for job in jobs[1:] if job.trace_key() != trace_key]
     if strays:
         raise ValueError(
-            f"execute_batch needs jobs sharing one trace_key; {strays} differ "
+            f"a batch needs jobs sharing one trace_key; {strays} differ "
             f"from {jobs[0].label} (group jobs with RunPlan.from_jobs first)"
         )
-    store = trace_store if trace_store is not None else trace_store_for(trace_root)
-    snapshot = store.stats() if store is not None else None
-    program, compiled = _trace_for(jobs[0], trace_root, store, memo_cap)
     processors: Dict[Tuple[object, ...], ClusteredProcessor] = {}
     dumps: List[Dict[str, object]] = []
     for job in jobs:
@@ -250,10 +283,53 @@ def execute_batch(
             processor.bind(compiled)
             processors[key] = processor
         dumps.append(processor.run_bound(policy).to_dict())
+    return dumps
+
+
+def execute_batch(
+    jobs: Sequence[SimulationJob],
+    trace_root: Optional[str] = None,
+    trace_store: Optional[TraceArtifactStore] = None,
+    memo_cap: Optional[int] = None,
+) -> Dict[str, object]:
+    """Run all ``jobs`` of one trace batch and return their metrics dumps.
+
+    The self-contained batch execution path (and the shared-memory path's
+    fallback): every job shares one
+    :meth:`~repro.engine.job.SimulationJob.trace_key`, so the compiled trace
+    is fetched (memo, artifact store, or generated) exactly once and
+    simulated against via :func:`_simulate_batch`.
+
+    Returns ``{"dumps": [...], "trace_stats": {...} | None}``; ``dumps`` are
+    in job order and ``trace_stats`` is this task's artifact-store traffic
+    delta (for parent-side aggregation across workers).
+    """
+    if not jobs:
+        return {"dumps": [], "trace_stats": None}
+    store = trace_store if trace_store is not None else trace_store_for(trace_root)
+    snapshot = store.stats() if store is not None else None
+    program, compiled = _trace_for(jobs[0], trace_root, store, memo_cap)
+    dumps = _simulate_batch(jobs, program, compiled)
     return {
         "dumps": dumps,
         "trace_stats": store.stats_since(snapshot) if store is not None else None,
     }
+
+
+def _execute_segment_batch(
+    jobs: Sequence[SimulationJob], segment_name: str
+) -> Dict[str, object]:
+    """Worker task of the shared-memory path: attach by name and simulate.
+
+    The trace's columns never cross the task queue -- only the jobs and the
+    segment name do.  Attachments are cached per worker process, so later
+    batches of the same trace (across runs of a persistent pool) reuse the
+    mapping.  No artifact-store traffic happens here by construction; the
+    parent already accounted the trace's acquisition when it published the
+    segment.
+    """
+    program, compiled = attach_segment(segment_name)
+    return {"dumps": _simulate_batch(jobs, program, compiled), "trace_stats": None}
 
 
 def _execute_job_task(
@@ -272,7 +348,7 @@ def _execute_job_task(
 
 
 class ParallelRunner:
-    """Fan simulation batches out over processes, with optional result caching.
+    """Fan simulation batches out over a persistent worker substrate.
 
     Parameters
     ----------
@@ -287,8 +363,8 @@ class ParallelRunner:
         Directory of the on-disk compiled-trace artifacts shared by the
         workers.  :data:`AUTO_TRACE_ROOT` (the default) places it next to the
         result cache (``<cache root>/traces``) and disables artifacts when
-        there is no cache; ``None`` disables artifacts explicitly (workers
-        regenerate traces from their seeds, as before).
+        there is no cache; ``None`` disables artifacts explicitly (traces are
+        regenerated from their seeds, as before).
     batching:
         ``True`` (the default) schedules per-trace batches: jobs are grouped
         by :meth:`~repro.engine.job.SimulationJob.trace_key`, the cache is
@@ -300,6 +376,24 @@ class ParallelRunner:
         Capacity of the per-process in-memory trace memo; ``None`` (default)
         resolves ``$REPRO_TRACE_MEMO_CAP`` or a batch-width-scaled default
         (see :func:`resolve_trace_memo_cap`).
+    shared_memory:
+        ``None`` (the default) publishes each batch's compiled trace into a
+        shared-memory segment whenever the platform supports it and the run
+        is parallel; workers attach by name instead of acquiring traces
+        themselves, and segments stay resident across runs until
+        :meth:`shutdown`.  ``False`` forces the classic pickle path;
+        ``True`` insists on shared memory and falls back (with a warning)
+        only when the platform lacks it.  Results are bit-identical in
+        every mode.
+
+    Lifecycle
+    ---------
+    The worker pool and the segment registry persist across :meth:`run`
+    calls; :meth:`shutdown` releases both (idempotent), after which a later
+    :meth:`run` transparently respawns them.  ``with ParallelRunner(...) as
+    runner:`` guarantees the release on the way out, and a dropped runner is
+    backstopped by finalizers -- worker processes and shared-memory segments
+    never outlive it.
     """
 
     def __init__(
@@ -309,6 +403,7 @@ class ParallelRunner:
         trace_root: Union[str, Path, None] = AUTO_TRACE_ROOT,
         batching: bool = True,
         trace_memo_cap: Optional[int] = None,
+        shared_memory: Optional[bool] = None,
     ) -> None:
         if max_workers < 1:
             raise ValueError("max_workers must be at least 1")
@@ -318,6 +413,7 @@ class ParallelRunner:
         self.cache = cache
         self.batching = batching
         self.trace_memo_cap = trace_memo_cap
+        self.shared_memory = shared_memory
         if trace_root is AUTO_TRACE_ROOT:
             trace_root = cache.root / "traces" if cache is not None else None
         self.trace_root: Optional[str] = None if trace_root is None else str(trace_root)
@@ -327,16 +423,51 @@ class ParallelRunner:
         self._worker_trace_stats: Dict[str, int] = dict(_ZERO_TRACE_STATS)
         #: Cumulative batch-scheduling counters across this runner's runs
         #: (the CLI ``[batch]`` footer): distinct traces, total jobs, widest
-        #: batch, and how many batches/jobs the cache served outright.
+        #: batch, how many jobs actually executed in batch tasks, and how
+        #: many batches/jobs the cache served outright.  The counters are
+        #: kept consistent: ``jobs == executed_jobs + cached_jobs`` always,
+        #: including partially cached batches.
         self.batch_stats: Dict[str, int] = {
             "batches": 0,
             "jobs": 0,
             "max_width": 0,
+            "executed_jobs": 0,
             "cached_batches": 0,
             "cached_jobs": 0,
         }
-        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool = WorkerPool(max_workers)
+        self._segments: Optional[SegmentRegistry] = None
+        #: Closed-over shared-memory counters that survive registry release
+        #: (``shutdown()`` unlinks the segments but the footer must still
+        #: report what happened).
+        self._shm_totals: Dict[str, int] = dict(_ZERO_SHM_STATS)
+        # Backstop: a runner dropped without shutdown() must not keep worker
+        # processes alive for the rest of the interpreter's lifetime.  The
+        # segment registry carries its own finalizer.
+        self._pool_finalizer = weakref.finalize(self, WorkerPool.shutdown, self._pool, False)
 
+    # ------------------------------------------------------------- lifecycle --
+    def __enter__(self) -> "ParallelRunner":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
+
+    def shutdown(self) -> None:
+        """Release the worker pool and unlink all shared-memory segments.
+
+        Idempotent, and not terminal: a later :meth:`run` transparently
+        respawns the pool (and republishes segments as needed).  Call it --
+        or use the runner as a context manager -- when a sweep is done, so
+        worker processes and ``/dev/shm`` blocks are returned promptly
+        rather than at interpreter exit.
+        """
+        self._pool.shutdown()
+        if self._segments is not None:
+            self._segments.close()
+            self._segments = None
+
+    # ---------------------------------------------------------------- stores --
     @property
     def trace_store(self) -> Optional[TraceArtifactStore]:
         """This runner's trace artifact store (``None`` if disabled).
@@ -351,15 +482,56 @@ class ParallelRunner:
     def trace_stats(self) -> Dict[str, int]:
         """Aggregated artifact-store traffic of this runner's runs.
 
-        Sums the runner's own (serial/inline) store counters with the
-        per-task deltas reported back by worker processes, so parallel runs
-        account their trace loads and generations exactly like serial ones.
+        Sums the runner's own (serial/inline/publish-side) store counters
+        with the per-task deltas reported back by worker processes, so
+        parallel runs account their trace loads and generations exactly like
+        serial ones.
         """
         totals = dict(self._worker_trace_stats)
         if self._trace_store is not None:
             for name, value in self._trace_store.stats().items():
                 totals[name] += value
         return totals
+
+    def shm_stats(self) -> Dict[str, int]:
+        """Shared-memory substrate counters of this runner's runs.
+
+        ``segments``/``bytes`` describe what is resident right now;
+        ``published``/``reused``/``unlinked`` are cumulative across runs
+        (and survive :meth:`shutdown`, so the CLI footer stays truthful
+        after cleanup).
+        """
+        totals = dict(_ZERO_SHM_STATS)
+        totals.update(self._shm_totals)
+        if self._segments is not None:
+            totals["segments"] = len(self._segments)
+            totals["bytes"] = self._segments.nbytes
+        return totals
+
+    def _use_shared_memory(self) -> bool:
+        """Whether parallel batches should ride shared-memory segments."""
+        if self.shared_memory is False:
+            return False
+        if not shared_memory_available():  # pragma: no cover - platform-specific
+            if self.shared_memory is True:
+                warnings.warn(
+                    "shared_memory=True requested but multiprocessing.shared_memory "
+                    "is unavailable on this platform; falling back to the pickle path",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+            return False
+        return True
+
+    def _segment_registry(self) -> SegmentRegistry:
+        if self._segments is None:
+            self._segments = SegmentRegistry()
+            # Adopt the cumulative counters so published/reused/unlinked keep
+            # accumulating across shutdown()/respawn cycles.
+            for name in ("published", "reused", "unlinked"):
+                self._segments.stats[name] = self._shm_totals[name]
+            self._shm_totals = self._segments.stats
+        return self._segments
 
     def _absorb_task_result(self, result: Dict[str, object]) -> List[Dict[str, object]]:
         """Fold one worker task's trace traffic into the totals; return its dumps."""
@@ -369,25 +541,7 @@ class ParallelRunner:
                 self._worker_trace_stats[name] += stats.get(name, 0)
         return result["dumps"]
 
-    def _get_pool(self) -> ProcessPoolExecutor:
-        """The worker pool, created lazily and reused across :meth:`run` calls.
-
-        Reuse matters for batched callers like the ablation sweeps: one
-        shared engine then pays pool start-up (and, under the ``spawn`` start
-        method, worker-side trace loading) once instead of per sweep point.
-        Idle workers are reclaimed by the interpreter's exit handler; call
-        :meth:`shutdown` to release them earlier.
-        """
-        if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
-        return self._pool
-
-    def shutdown(self) -> None:
-        """Release the worker pool (a later :meth:`run` recreates it)."""
-        if self._pool is not None:
-            self._pool.shutdown()
-            self._pool = None
-
+    # ------------------------------------------------------------- execution --
     def run(self, jobs: Sequence[SimulationJob]) -> List[SimulationMetrics]:
         """Execute ``jobs`` and return their metrics in the same order.
 
@@ -399,51 +553,63 @@ class ParallelRunner:
         callers' job order (batching is a scheduling concern only).
         """
         results: List[Optional[SimulationMetrics]] = [None] * len(jobs)
+        for index, metrics in self.run_stream(jobs):
+            results[index] = metrics
+        assert all(metrics is not None for metrics in results)
+        return results  # every slot is filled: cached, inline, or streamed above
+
+    def run_stream(
+        self, jobs: Sequence[SimulationJob]
+    ) -> Iterator[Tuple[int, SimulationMetrics]]:
+        """Execute ``jobs``, yielding ``(index, metrics)`` as results land.
+
+        Cached results are yielded first (immediately); the rest stream back
+        per batch as worker tasks complete -- there is no barrier at the end
+        of the run, so a consumer can fold long sweeps incrementally.  Each
+        index is yielded exactly once; :meth:`run` is a thin order-restoring
+        wrapper over this.
+        """
         keys: List[Optional[str]] = [None] * len(jobs)
         if self.cache is not None:
             keys = [job.cache_key() for job in jobs]
             pending = []
             for index, cached in enumerate(self.cache.get_many(keys)):
                 if cached is not None:
-                    results[index] = cached
+                    yield index, cached
                 else:
                     pending.append(index)
         else:
             pending = list(range(len(jobs)))
 
         if self.batching:
-            self._run_batched(jobs, pending, keys, results)
+            yield from self._run_batched(jobs, pending, keys)
         elif pending:
-            self._run_per_job(jobs, pending, keys, results)
-
-        assert all(metrics is not None for metrics in results)
-        return results  # every slot is filled: cached, inline, or executed above
+            yield from self._run_per_job(jobs, pending, keys)
 
     def _store_result(
         self,
         index: int,
         dump: Dict[str, object],
         keys: List[Optional[str]],
-        results: List[Optional[SimulationMetrics]],
-    ) -> None:
+    ) -> Tuple[int, SimulationMetrics]:
         metrics = SimulationMetrics.from_dict(dump)
-        results[index] = metrics
         if self.cache is not None:
             self.cache.put(keys[index], metrics)
+        return index, metrics
 
     def _run_batched(
         self,
         jobs: Sequence[SimulationJob],
         pending: List[int],
         keys: List[Optional[str]],
-        results: List[Optional[SimulationMetrics]],
-    ) -> None:
-        """Execute the uncached jobs as per-trace batches.
+    ) -> Iterator[Tuple[int, SimulationMetrics]]:
+        """Execute the uncached jobs as per-trace batches, streaming results.
 
         One plan serves both purposes: its batches (narrowed to their
         uncached jobs) are the work units, and its shape feeds the footer
         counters -- fully-cached batches are counted and never reach a
-        worker.
+        worker, and partially cached batches account their cached jobs too
+        (so ``executed_jobs + cached_jobs == jobs`` holds).
         """
         plan = RunPlan.from_jobs(jobs)
         stats = self.batch_stats
@@ -454,10 +620,11 @@ class ParallelRunner:
         tasks: List[Tuple[List[int], Tuple[SimulationJob, ...]]] = []
         for batch in plan.batches:
             indices = [index for index in batch.indices if index in pending_set]
+            stats["cached_jobs"] += batch.width - len(indices)
             if not indices:
                 stats["cached_batches"] += 1
-                stats["cached_jobs"] += batch.width
             else:
+                stats["executed_jobs"] += len(indices)
                 tasks.append(
                     (indices, tuple(jobs[index] for index in indices))
                 )
@@ -468,38 +635,101 @@ class ParallelRunner:
             # Inline tasks hit this runner's own store, whose counters are
             # already reported by trace_stats(); absorbing their deltas too
             # would double-count, so read the dumps directly.
-            all_dumps = [
-                execute_batch(
+            for indices, task_jobs in tasks:
+                result = execute_batch(
                     task_jobs,
                     trace_root=self.trace_root,
                     trace_store=self._trace_store,
                     memo_cap=memo_cap,
-                )["dumps"]
-                for _, task_jobs in tasks
-            ]
-        else:
-            pool = self._get_pool()
-            all_dumps = [
-                self._absorb_task_result(result)
-                for result in pool.map(
-                    partial(
-                        execute_batch, trace_root=self.trace_root, memo_cap=memo_cap
-                    ),
-                    [task_jobs for _, task_jobs in tasks],
-                    chunksize=1,
                 )
-            ]
-        for (indices, _), dumps in zip(tasks, all_dumps):
-            for index, dump in zip(indices, dumps):
-                self._store_result(index, dump, keys, results)
+                for index, dump in zip(indices, result["dumps"]):
+                    yield self._store_result(index, dump, keys)
+            return
+        yield from self._run_batched_parallel(tasks, keys, memo_cap)
+
+    def _run_batched_parallel(
+        self,
+        tasks: List[Tuple[List[int], Tuple[SimulationJob, ...]]],
+        keys: List[Optional[str]],
+        memo_cap: int,
+    ) -> Iterator[Tuple[int, SimulationMetrics]]:
+        """Fan batch tasks out over the pool; yield per batch as they finish.
+
+        With shared memory, each task's trace is acquired once in the parent
+        (memo -> artifact store -> generate), published as a segment, and the
+        worker receives only the jobs plus the segment name.  Without it,
+        workers acquire traces themselves (the pickle path).  Either way the
+        ``as_completed`` loop streams results; a worker crash discards the
+        poisoned pool (no leaked executor processes) and surfaces as a clear
+        error, and outstanding segment references are always released.
+        """
+        use_shm = self._use_shared_memory()
+        registry = self._segment_registry() if use_shm else None
+        if registry is not None:
+            # Submit warm batches first: their segments are already resident,
+            # so workers start immediately while the parent generates (or
+            # loads) the cold traces -- publish is parent-side work, and
+            # front-loading the cheap submissions maximises its overlap with
+            # worker execution.  Stable sort, so same-temperature batches
+            # keep their deterministic plan order.
+            tasks = sorted(
+                tasks,
+                key=lambda task: registry.get(task[1][0].trace_key()) is None,
+            )
+        futures = {}
+        try:
+            for indices, task_jobs in tasks:
+                if registry is not None:
+                    trace_key = task_jobs[0].trace_key()
+                    segment = registry.publish(
+                        trace_key,
+                        lambda job=task_jobs[0]: _trace_for(
+                            job, self.trace_root, self._trace_store, memo_cap
+                        ),
+                    )
+                    registry.acquire(trace_key)
+                    try:
+                        future = self._pool.submit(
+                            _execute_segment_batch, task_jobs, segment.name
+                        )
+                    except BaseException:
+                        # The task never existed, so the finally loop below
+                        # will not release its reference -- do it here.
+                        registry.release(trace_key)
+                        raise
+                    futures[future] = (indices, trace_key)
+                else:
+                    future = self._pool.submit(
+                        execute_batch,
+                        task_jobs,
+                        trace_root=self.trace_root,
+                        memo_cap=memo_cap,
+                    )
+                    futures[future] = (indices, None)
+            for future in as_completed(futures):
+                indices, _ = futures[future]
+                dumps = self._absorb_task_result(future.result())
+                for index, dump in zip(indices, dumps):
+                    yield self._store_result(index, dump, keys)
+        except BrokenProcessPool as exc:
+            self._pool.mark_broken()
+            raise RuntimeError(
+                "a worker process died mid-run; the pool was discarded and "
+                "will be respawned by the next run (results of this run are "
+                "incomplete)"
+            ) from exc
+        finally:
+            for future, (_, trace_key) in futures.items():
+                future.cancel()
+                if registry is not None and trace_key is not None:
+                    registry.release(trace_key)
 
     def _run_per_job(
         self,
         jobs: Sequence[SimulationJob],
         pending: List[int],
         keys: List[Optional[str]],
-        results: List[Optional[SimulationMetrics]],
-    ) -> None:
+    ) -> Iterator[Tuple[int, SimulationMetrics]]:
         """Legacy per-job scheduling (``batching=False``)."""
         memo_cap = resolve_trace_memo_cap(self.trace_memo_cap)
         if self.max_workers == 1 or len(pending) == 1:
@@ -510,7 +740,7 @@ class ParallelRunner:
                     trace_store=self._trace_store,
                     memo_cap=memo_cap,
                 )
-                self._store_result(index, dump, keys, results)
+                yield self._store_result(index, dump, keys)
             return
         # Sort so jobs sharing a trace are adjacent and chunk the map
         # accordingly: a worker then receives a phase's configurations
@@ -519,13 +749,20 @@ class ParallelRunner:
         # rest.  Results stay index-aligned via `pending`.
         pending = sorted(pending, key=lambda index: (jobs[index].trace_key(), index))
         chunksize = max(1, len(pending) // (self.max_workers * 4))
-        pool = self._get_pool()
-        for index, result in zip(
-            pending,
-            pool.map(
-                partial(_execute_job_task, trace_root=self.trace_root, memo_cap=memo_cap),
-                [jobs[index] for index in pending],
-                chunksize=chunksize,
-            ),
-        ):
-            self._store_result(index, self._absorb_task_result(result)[0], keys, results)
+        try:
+            for index, result in zip(
+                pending,
+                self._pool.executor().map(
+                    partial(_execute_job_task, trace_root=self.trace_root, memo_cap=memo_cap),
+                    [jobs[index] for index in pending],
+                    chunksize=chunksize,
+                ),
+            ):
+                yield self._store_result(index, self._absorb_task_result(result)[0], keys)
+        except BrokenProcessPool as exc:
+            self._pool.mark_broken()
+            raise RuntimeError(
+                "a worker process died mid-run; the pool was discarded and "
+                "will be respawned by the next run (results of this run are "
+                "incomplete)"
+            ) from exc

@@ -128,11 +128,16 @@ class ExperimentRunner:
         Schedule per-trace batches (the default) or per-job
         (``batching=False``); results are bit-identical either way (see
         :class:`~repro.engine.parallel.ParallelRunner`).
+    shared_memory:
+        Publish compiled traces into shared-memory segments for parallel
+        batched runs (``None`` = where available, the default); results are
+        bit-identical either way.
     engine:
         Pre-built :class:`~repro.engine.parallel.ParallelRunner` to use
         instead of constructing one from ``jobs`` / ``cache_dir`` /
-        ``trace_dir`` / ``batching`` (lets several runners share one cache
-        and its statistics).
+        ``trace_dir`` / ``batching`` / ``shared_memory`` (lets several
+        runners share one cache, one worker pool and one set of resident
+        trace segments).
     """
 
     def __init__(
@@ -143,6 +148,7 @@ class ExperimentRunner:
         cache_dir: Optional[str] = None,
         trace_dir: Optional[str] = AUTO_TRACE_ROOT,
         batching: bool = True,
+        shared_memory: Optional[bool] = None,
         engine: Optional[ParallelRunner] = None,
     ) -> None:
         self.settings = settings or ExperimentSettings()
@@ -150,9 +156,32 @@ class ExperimentRunner:
         if engine is None:
             cache = ResultCache(cache_dir) if cache_dir is not None else None
             engine = ParallelRunner(
-                max_workers=jobs, cache=cache, trace_root=trace_dir, batching=batching
+                max_workers=jobs,
+                cache=cache,
+                trace_root=trace_dir,
+                batching=batching,
+                shared_memory=shared_memory,
             )
         self.engine = engine
+
+    # -- lifecycle --------------------------------------------------------------------
+    def shutdown(self) -> None:
+        """Release the engine's worker pool and shared-memory segments.
+
+        Idempotent and non-terminal (the substrate respawns on the next
+        simulation), so it is always safe to call -- including on an engine
+        the caller passed in and keeps using afterwards.  Long-lived
+        processes (notebooks, services) should call it -- or use the runner
+        as a context manager -- once a sweep is done, so worker processes
+        and ``/dev/shm`` segments are returned promptly.
+        """
+        self.engine.shutdown()
+
+    def __enter__(self) -> "ExperimentRunner":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
 
     # -- job expansion ----------------------------------------------------------------
     def simulation_points(self, profile: BenchmarkProfile) -> List[SimulationPoint]:

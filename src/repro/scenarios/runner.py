@@ -46,6 +46,7 @@ def run_scenario(
     cache_dir: Optional[str] = None,
     trace_dir: Optional[str] = AUTO_TRACE_ROOT,
     batching: bool = True,
+    shared_memory: Optional[bool] = None,
 ) -> str:
     """Execute ``spec`` and return its report text.
 
@@ -54,9 +55,12 @@ def run_scenario(
     spec:
         The scenario to run.
     engine:
-        Pre-built engine to use (lets callers share one worker pool and
-        cache across scenarios); built from ``jobs`` / ``cache_dir`` /
-        ``trace_dir`` / ``batching`` when omitted.
+        Pre-built engine to use (lets callers share one worker pool, one set
+        of resident shared-memory segments and one cache across scenarios);
+        built from ``jobs`` / ``cache_dir`` / ``trace_dir`` / ``batching`` /
+        ``shared_memory`` when omitted.  An engine built here is shut down
+        before returning (its pool and segments do not outlive the call);
+        a caller-provided engine is left running for reuse.
     jobs / cache_dir:
         Engine knobs when no engine is passed: worker processes (results are
         bit-identical for any count) and the optional on-disk result cache.
@@ -67,14 +71,27 @@ def run_scenario(
     batching:
         Schedule the scenario's jobs as per-trace batches (default) or
         per-job; results are bit-identical either way.
+    shared_memory:
+        Publish compiled traces into shared-memory segments for parallel
+        batched runs (``None`` = where available, the default); results are
+        bit-identical either way.
     """
+    owned = engine is None
     if engine is None:
         cache = ResultCache(cache_dir) if cache_dir is not None else None
         engine = ParallelRunner(
-            max_workers=jobs, cache=cache, trace_root=trace_dir, batching=batching
+            max_workers=jobs,
+            cache=cache,
+            trace_root=trace_dir,
+            batching=batching,
+            shared_memory=shared_memory,
         )
     handler = REPORT_KINDS.get(spec.report)
-    return handler(spec, engine)
+    try:
+        return handler(spec, engine)
+    finally:
+        if owned:
+            engine.shutdown()
 
 
 def _join(parts: Sequence[str]) -> str:

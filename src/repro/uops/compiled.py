@@ -378,6 +378,24 @@ class CompiledTrace:
         return trace
 
     # ------------------------------------------------------------ persistence --
+    def stored_columns(self) -> Dict[str, np.ndarray]:
+        """The stored columns as ``{name: array}``, in ``STORED_FIELDS`` order.
+
+        This is the serialisation surface shared by every persistence layer:
+        :meth:`save` compresses these arrays to ``.npz``, the artifact store
+        adds the program pickle, and the shared-memory segment layer copies
+        their raw bytes into a block.  Passing the dict straight back to the
+        constructor (``CompiledTrace(**columns)``) is zero-copy when dtypes
+        already match -- the derived columns are recomputed, the stored ones
+        are adopted as-is (including read-only views over shared buffers).
+        """
+        return {name: getattr(self, name) for name in self.STORED_FIELDS}
+
+    @property
+    def stored_nbytes(self) -> int:
+        """Total payload bytes of the stored columns (uncompressed)."""
+        return sum(array.nbytes for array in self.stored_columns().values())
+
     def save(self, path: Union[str, Path]) -> None:
         """Write the stored columns to a compressed ``.npz`` file."""
         np.savez_compressed(

@@ -65,7 +65,10 @@ class TestBatchOptions:
         )
         out = capsys.readouterr().out
         # One trace, the five Table 3 configurations, nothing cached.
-        assert "[batch] traces=1 configs=5 max-width=5 fully-cached-batches=0" in out
+        assert (
+            "[batch] traces=1 configs=5 executed=5 cached=0 max-width=5 "
+            "fully-cached-batches=0" in out
+        )
 
     def test_no_batch_footer_with_no_batch(self, capsys, monkeypatch):
         monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
@@ -97,6 +100,119 @@ class TestBatchOptions:
             return [line for line in text.splitlines() if not line.startswith("[batch]")]
 
         assert strip(batched) == strip(per_job)
+
+
+class TestSharedMemoryOptions:
+    def test_auto_is_the_default(self):
+        from repro.cli import _engine
+
+        args = build_parser().parse_args(["quickstart", "--no-cache"])
+        assert args.shared_mem is None
+        assert _engine(args).shared_memory is None
+
+    def test_flags_parse(self):
+        args = build_parser().parse_args(["quickstart", "--no-cache", "--shared-mem"])
+        assert args.shared_mem is True
+        args = build_parser().parse_args(["quickstart", "--no-cache", "--no-shared-mem"])
+        assert args.shared_mem is False
+
+    def test_shm_footer_on_parallel_multi_trace_run(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        argv = [
+            "run", "figure5",
+            "--benchmarks", "164.gzip-1", "178.galgel",
+            "--trace-length", "400", "--phases", "1",
+            "--jobs", "2", "--no-cache", "--shared-mem",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        # Two benchmarks, one phase each: two published segments, resident
+        # when the footer is read (the engine is shut down right after).
+        assert "[shm] segments=2 " in out
+        assert "published=2" in out
+
+    def test_no_shm_footer_when_disabled(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        argv = [
+            "run", "figure5",
+            "--benchmarks", "164.gzip-1", "178.galgel",
+            "--trace-length", "400", "--phases", "1",
+            "--jobs", "2", "--no-cache", "--no-shared-mem",
+        ]
+        assert main(argv) == 0
+        assert "[shm]" not in capsys.readouterr().out
+
+    def test_no_shm_footer_on_serial_runs(self, capsys, monkeypatch):
+        """--jobs 1 executes inline: no segments, and the footer says nothing
+        about them (it must not claim substrate activity that never happened)."""
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        argv = [
+            "quickstart", "--benchmark", "164.gzip-1",
+            "--trace-length", "400", "--no-cache", "--shared-mem",
+        ]
+        assert main(argv) == 0
+        assert "[shm]" not in capsys.readouterr().out
+
+
+class TestFooterConsistency:
+    """The [batch]/[traces]/[shm] footers under every scheduling combination.
+
+    The audited invariant: ``configs == executed + cached`` in the [batch]
+    footer, [batch] only ever appears when batching actually scheduled the
+    run, and [traces] only when an artifact store saw traffic.
+    """
+
+    def _parse_batch_footer(self, out):
+        import re
+
+        match = re.search(
+            r"\[batch\] traces=(\d+) configs=(\d+) executed=(\d+) cached=(\d+) "
+            r"max-width=(\d+) fully-cached-batches=(\d+)",
+            out,
+        )
+        assert match, f"no [batch] footer in: {out!r}"
+        return tuple(int(group) for group in match.groups())
+
+    def test_replay_accounts_every_cached_config(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        argv = [
+            "quickstart", "--benchmark", "164.gzip-1", "--trace-length", "400",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(argv) == 0
+        traces, configs, executed, cached, _, fully = self._parse_batch_footer(
+            capsys.readouterr().out
+        )
+        assert (executed, cached, fully) == (configs, 0, 0)
+
+        assert main(argv) == 0
+        traces, configs, executed, cached, _, fully = self._parse_batch_footer(
+            capsys.readouterr().out
+        )
+        # Full replay: every config cached, every batch fully cached.
+        assert (executed, cached, fully) == (0, configs, traces)
+
+    def test_no_trace_footer_without_artifacts(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        argv = [
+            "quickstart", "--benchmark", "164.gzip-1", "--trace-length", "400",
+            "--no-cache", "--no-trace-artifacts",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "[traces]" not in out
+        configs, executed, cached = self._parse_batch_footer(out)[1:4]
+        assert configs == executed + cached
+
+    def test_per_job_scheduling_prints_no_batch_footer(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        argv = [
+            "quickstart", "--benchmark", "164.gzip-1", "--trace-length", "400",
+            "--no-cache", "--no-batch", "--no-trace-artifacts",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "[batch]" not in out and "[shm]" not in out
 
 
 class TestCacheDirResolution:

@@ -16,6 +16,7 @@ Three contracts are pinned here:
 from __future__ import annotations
 
 import json
+import warnings
 from pathlib import Path
 
 import pytest
@@ -379,10 +380,30 @@ class TestTraceMemoCap:
         with pytest.raises(ValueError):
             ParallelRunner(trace_memo_cap=0)
 
-    def test_malformed_env_var_reports_its_name(self, monkeypatch):
+    def test_malformed_env_var_warns_and_falls_back(self, monkeypatch):
+        """A non-integer cap in the environment cannot crash a run: it warns
+        (naming the variable) and the width-scaled default applies."""
         monkeypatch.setenv(TRACE_MEMO_CAP_ENV, "plenty")
-        with pytest.raises(ValueError, match=TRACE_MEMO_CAP_ENV):
-            resolve_trace_memo_cap()
+        with pytest.warns(RuntimeWarning, match=TRACE_MEMO_CAP_ENV):
+            assert resolve_trace_memo_cap() == DEFAULT_TRACE_MEMO_CAP
+        with pytest.warns(RuntimeWarning, match=TRACE_MEMO_CAP_ENV):
+            assert resolve_trace_memo_cap(None, batch_width=8.0) == 2
+
+    def test_negative_env_var_warns_and_falls_back(self, monkeypatch):
+        """A negative or zero cap is nonsense, not 'clamp to 1': warn and use
+        the width-scaled default instead."""
+        for bad in ("-3", "0"):
+            monkeypatch.setenv(TRACE_MEMO_CAP_ENV, bad)
+            with pytest.warns(RuntimeWarning, match=TRACE_MEMO_CAP_ENV):
+                assert resolve_trace_memo_cap() == DEFAULT_TRACE_MEMO_CAP
+
+    def test_explicit_cap_suppresses_env_validation(self, monkeypatch):
+        """An explicit cap wins outright -- a broken environment value is
+        never even consulted (and so never warns)."""
+        monkeypatch.setenv(TRACE_MEMO_CAP_ENV, "plenty")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_trace_memo_cap(5) == 5
 
 
 # ---------------------------------------------------------------------------
@@ -398,13 +419,16 @@ class TestTraceStatsAggregation:
         assert stats == {"hits": 0, "misses": 1, "stores": 1}
 
     def test_parallel_worker_stats_are_aggregated(self, tmp_path, small_profile, small_fp_profile):
+        """Pickle-path runs aggregate worker-side store deltas (the
+        shared-memory path accounts trace traffic in the parent instead --
+        see test_engine_shm.py)."""
         root = tmp_path / "traces"
         jobs = [
             make_job(profile, configuration)
             for profile in (small_profile, small_fp_profile)
             for configuration in CONFIGURATIONS
         ]
-        runner = ParallelRunner(max_workers=2, trace_root=root)
+        runner = ParallelRunner(max_workers=2, trace_root=root, shared_memory=False)
         try:
             runner.run(jobs)
         finally:
@@ -413,7 +437,7 @@ class TestTraceStatsAggregation:
         # a worker process -- and the parent's footer-facing totals see it.
         assert runner.trace_stats() == {"hits": 0, "misses": 2, "stores": 2}
 
-        replay = ParallelRunner(max_workers=2, trace_root=root)
+        replay = ParallelRunner(max_workers=2, trace_root=root, shared_memory=False)
         try:
             replay.run(jobs)
         finally:
@@ -432,6 +456,7 @@ class TestTraceStatsAggregation:
             "batches": 2,
             "jobs": 6,
             "max_width": 3,
+            "executed_jobs": 6,
             "cached_batches": 0,
             "cached_jobs": 0,
         }

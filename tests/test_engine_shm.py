@@ -1,0 +1,543 @@
+"""The shared-memory execution substrate: segments, registry, pool, runner.
+
+Contracts pinned here:
+
+* **Segment round-trips are lossless.**  Publishing a compiled trace and
+  attaching it back yields array-for-array identical stored columns
+  (property-tested over random traces), the program survives its pickle
+  round-trip, and attached columns are zero-copy read-only views.
+* **Lifetime is refcounted and leak-free.**  A segment is unlinked exactly
+  when its last reference is released; registry close (and the finalizer
+  backstop) unlinks everything; worker crashes cannot leak ``/dev/shm``
+  blocks or executor processes.
+* **Scheduling mode is invisible in results.**  Shared-memory, pickle-path,
+  serial and cache-replay runs of the same jobs are bit-identical.
+* **The pool is persistent but not precious.**  ``run`` after ``shutdown``
+  transparently respawns; a poisoned pool is discarded and the next run
+  works; the runner is a context manager.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.cache import ResultCache
+from repro.engine.job import SimulationJob
+from repro.engine.parallel import (
+    _TRACE_MEMO,
+    ParallelRunner,
+    execute_job,
+)
+from repro.engine.pool import WorkerPool
+from repro.engine.shm import (
+    SegmentRegistry,
+    SharedTraceSegment,
+    attach_segment,
+    drop_attachments,
+    shared_memory_available,
+)
+from repro.experiments.configs import TABLE3_CONFIGURATIONS, vc_variant
+from repro.uops.compiled import CompiledTrace
+from repro.uops.opcodes import UopClass
+from repro.workloads.generator import WorkloadGenerator
+
+pytestmark = pytest.mark.skipif(
+    not shared_memory_available(), reason="multiprocessing.shared_memory unavailable"
+)
+
+CONFIGURATIONS = [
+    TABLE3_CONFIGURATIONS["OP"],
+    TABLE3_CONFIGURATIONS["VC"],
+    vc_variant("VC(4)", 4),
+]
+
+SHM_DIR = Path("/dev/shm")
+
+
+def _visible_segments() -> set:
+    """The ``repro-*`` shared blocks currently visible to this machine."""
+    if not SHM_DIR.is_dir():  # pragma: no cover - non-Linux fallback
+        return set()
+    return {entry.name for entry in SHM_DIR.iterdir() if entry.name.startswith("repro-")}
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_segments():
+    """Every test must leave ``/dev/shm`` exactly as it found it."""
+    _TRACE_MEMO.clear()
+    drop_attachments()
+    before = _visible_segments()
+    yield
+    drop_attachments()
+    gc.collect()  # let registry finalizers fire for dropped runners
+    after = _visible_segments()
+    assert after == before, f"leaked shared-memory segments: {sorted(after - before)}"
+
+
+def make_job(profile, configuration, phase=0, trace_length=500, **overrides):
+    defaults = dict(
+        profile=profile,
+        phase=phase,
+        configuration=configuration,
+        trace_length=trace_length,
+        region_size=128,
+        num_clusters=2,
+        num_virtual_clusters=2,
+    )
+    defaults.update(overrides)
+    return SimulationJob(**defaults)
+
+
+def _segment_is_gone(name: str) -> bool:
+    try:
+        probe = SharedTraceSegment.attach(name)
+    except FileNotFoundError:
+        return True
+    probe.close()
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Segment round-trips
+# ---------------------------------------------------------------------------
+
+
+class TestSegmentRoundTrip:
+    def test_generated_trace_round_trips(self, small_profile):
+        program, compiled = WorkloadGenerator(small_profile).generate_compiled_trace(600)
+        segment = SharedTraceSegment.create("key", program, compiled)
+        try:
+            attached = SharedTraceSegment.attach(segment.name)
+            try:
+                rebuilt_program, rebuilt = attached.load()
+                assert compiled.equals(rebuilt)
+                # The program survives its pickle round-trip structurally.
+                assert len(list(rebuilt_program.all_instructions())) == len(
+                    list(program.all_instructions())
+                )
+                # Columns are views over the shared buffer: read-only, and
+                # byte-identical without any serialisation format between.
+                for name in CompiledTrace.STORED_FIELDS:
+                    column = getattr(rebuilt, name)
+                    assert not column.flags.writeable
+                    assert not column.flags.owndata
+            finally:
+                attached.close()
+        finally:
+            segment.close()
+            segment.unlink()
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_arbitrary_columns_round_trip(self, data):
+        """Property: shared-memory round-trip of CompiledTrace columns is
+        lossless for arbitrary well-formed traces, empty ones included."""
+        n = data.draw(st.integers(0, 40), label="n")
+        opclasses = data.draw(
+            st.lists(
+                st.integers(0, len(UopClass) - 1), min_size=n, max_size=n
+            ),
+            label="opclasses",
+        )
+        srcs = [
+            tuple(reg for (reg,) in data.draw(st.lists(st.tuples(st.integers(0, 63)), max_size=3)))
+            for _ in range(n)
+        ]
+        dests = [
+            tuple(reg for (reg,) in data.draw(st.lists(st.tuples(st.integers(0, 63)), max_size=2)))
+            for _ in range(n)
+        ]
+        compiled = CompiledTrace.from_columns(
+            sids=list(range(n)),
+            opclasses=opclasses,
+            srcs=srcs,
+            dests=dests,
+            blocks=[0] * n,
+            addresses=data.draw(
+                st.lists(st.integers(0, 2**40), min_size=n, max_size=n)
+            ),
+            mispredicted=data.draw(st.lists(st.booleans(), min_size=n, max_size=n)),
+            vc_ids=data.draw(st.lists(st.integers(-1, 7), min_size=n, max_size=n)),
+            chain_leaders=data.draw(st.lists(st.booleans(), min_size=n, max_size=n)),
+            static_clusters=data.draw(st.lists(st.integers(-1, 3), min_size=n, max_size=n)),
+        )
+        segment = SharedTraceSegment.create("prop", {"marker": n}, compiled)
+        try:
+            attached = SharedTraceSegment.attach(segment.name)
+            try:
+                payload, rebuilt = attached.load()
+                assert payload == {"marker": n}
+                assert compiled.equals(rebuilt)
+            finally:
+                attached.close()
+        finally:
+            segment.close()
+            segment.unlink()
+
+    def test_stored_columns_are_zero_copy(self, small_profile):
+        _, compiled = WorkloadGenerator(small_profile).generate_compiled_trace(400)
+        columns = compiled.stored_columns()
+        rebuilt = CompiledTrace(**columns)
+        for name in CompiledTrace.STORED_FIELDS:
+            assert np.shares_memory(getattr(rebuilt, name), getattr(compiled, name))
+        assert compiled.stored_nbytes == sum(a.nbytes for a in columns.values())
+
+    def test_attach_unknown_name_raises(self):
+        with pytest.raises(FileNotFoundError):
+            SharedTraceSegment.attach("repro-does-not-exist")
+
+    def test_attached_segment_refuses_unlink(self, small_profile):
+        program, compiled = WorkloadGenerator(small_profile).generate_compiled_trace(300)
+        segment = SharedTraceSegment.create("k", program, compiled)
+        try:
+            attached = SharedTraceSegment.attach(segment.name)
+            with pytest.raises(RuntimeError, match="attached, not owned"):
+                attached.unlink()
+            attached.close()
+        finally:
+            segment.close()
+            segment.unlink()
+
+
+# ---------------------------------------------------------------------------
+# Registry refcounting and cleanup
+# ---------------------------------------------------------------------------
+
+
+class TestSegmentRegistry:
+    def _loader(self, small_profile, length=300):
+        return lambda: WorkloadGenerator(small_profile).generate_compiled_trace(length)
+
+    def test_publish_is_idempotent_per_key(self, small_profile):
+        registry = SegmentRegistry()
+        try:
+            first = registry.publish("k", self._loader(small_profile))
+            second = registry.publish("k", self._loader(small_profile))
+            assert first is second
+            assert registry.stats["published"] == 1
+            assert registry.stats["reused"] == 1
+            assert len(registry) == 1
+            assert registry.nbytes == first.nbytes > 0
+        finally:
+            registry.close()
+
+    def test_refcount_unlinks_on_last_release(self, small_profile):
+        registry = SegmentRegistry()
+        segment = registry.publish("k", self._loader(small_profile))
+        name = segment.name
+        registry.acquire("k")
+        registry.acquire("k")
+        registry.release("k")
+        assert not _segment_is_gone(name)  # task ref + resident ref remain
+        registry.release("k")
+        assert not _segment_is_gone(name)  # resident ref remains
+        registry.discard("k")
+        assert _segment_is_gone(name)
+        assert registry.stats["unlinked"] == 1
+        assert len(registry) == 0
+        registry.close()
+
+    def test_release_of_unknown_key_is_a_no_op(self):
+        registry = SegmentRegistry()
+        registry.release("never-published")
+        registry.close()
+
+    def test_close_unlinks_everything_regardless_of_refs(self, small_profile):
+        registry = SegmentRegistry()
+        names = []
+        for key in ("a", "b"):
+            names.append(registry.publish(key, self._loader(small_profile)).name)
+        registry.acquire("a")  # outstanding task ref must not block close
+        registry.close()
+        assert all(_segment_is_gone(name) for name in names)
+        registry.close()  # idempotent
+
+    def test_resident_cap_evicts_lru_only_segments(self, small_profile):
+        """Resident segments beyond the cap are unlinked LRU-first, so a
+        paper-scale sweep cannot pin unbounded /dev/shm space."""
+        registry = SegmentRegistry(max_resident=2)
+        try:
+            names = {}
+            for phase in range(3):
+                loader = lambda p=phase: WorkloadGenerator(small_profile).generate_compiled_trace(
+                    200, phase=p
+                )
+                names[f"k{phase}"] = registry.publish(f"k{phase}", loader).name
+            assert len(registry) == 2
+            assert _segment_is_gone(names["k0"])  # LRU victim
+            assert not _segment_is_gone(names["k1"])
+            assert not _segment_is_gone(names["k2"])
+            # A republished evicted trace gets a fresh segment.
+            fresh = registry.publish(
+                "k0",
+                lambda: WorkloadGenerator(small_profile).generate_compiled_trace(200, phase=0),
+            )
+            assert fresh.name != names["k0"]
+            assert registry.stats["published"] == 4
+        finally:
+            registry.close()
+
+    def test_resident_cap_never_evicts_in_flight_or_newest(self, small_profile):
+        registry = SegmentRegistry(max_resident=1)
+        try:
+            first = registry.publish("a", self._loader(small_profile))
+            registry.acquire("a")  # in flight: protected
+            second = registry.publish("b", self._loader(small_profile))
+            # Over the cap, but 'a' is in flight and 'b' is the newest
+            # publish (its caller has not acquired it yet): nothing evicted.
+            assert len(registry) == 2
+            assert not _segment_is_gone(first.name)
+            assert not _segment_is_gone(second.name)
+            registry.release("a")
+            registry.publish("c", self._loader(small_profile))
+            # 'a' is resident-only now -> evicted ('b' follows once another
+            # publish makes it non-newest).
+            assert _segment_is_gone(first.name)
+        finally:
+            registry.close()
+
+    def test_rejects_non_positive_cap(self):
+        with pytest.raises(ValueError):
+            SegmentRegistry(max_resident=0)
+
+    def test_finalizer_backstops_unclosed_registries(self, small_profile):
+        registry = SegmentRegistry()
+        name = registry.publish("k", self._loader(small_profile)).name
+        del registry
+        gc.collect()
+        assert _segment_is_gone(name)
+
+
+# ---------------------------------------------------------------------------
+# Worker-side attachment cache
+# ---------------------------------------------------------------------------
+
+
+class TestAttachmentCache:
+    def test_attachments_are_cached_and_evicted(self, small_profile):
+        registry = SegmentRegistry()
+        try:
+            names = []
+            for phase in range(3):
+                loader = lambda p=phase: WorkloadGenerator(small_profile).generate_compiled_trace(
+                    200, phase=p
+                )
+                names.append(registry.publish(f"k{phase}", loader).name)
+            first = attach_segment(names[0], cap=2)
+            again = attach_segment(names[0], cap=2)
+            assert first[1] is again[1]  # same cached CompiledTrace object
+            attach_segment(names[1], cap=2)
+            attach_segment(names[2], cap=2)  # evicts names[0]
+            refreshed = attach_segment(names[0], cap=2)
+            assert refreshed[1] is not first[1]
+        finally:
+            drop_attachments()
+            registry.close()
+
+
+# ---------------------------------------------------------------------------
+# WorkerPool lifecycle
+# ---------------------------------------------------------------------------
+
+
+def _crash_worker() -> None:  # pragma: no cover - runs (and dies) in a worker
+    os._exit(13)
+
+
+class TestWorkerPool:
+    def test_lazy_spawn_and_respawn_after_shutdown(self):
+        with WorkerPool(1) as pool:
+            assert not pool.alive
+            assert pool.submit(os.getpid).result() > 0
+            assert pool.alive and pool.spawn_count == 1
+            pool.shutdown()
+            assert not pool.alive
+            assert pool.submit(os.getpid).result() > 0  # transparently respawned
+            assert pool.spawn_count == 2
+        assert not pool.alive
+
+    def test_broken_pool_is_discarded_and_respawned(self):
+        from concurrent.futures.process import BrokenProcessPool
+
+        with WorkerPool(1) as pool:
+            future = pool.submit(_crash_worker)
+            with pytest.raises(BrokenProcessPool):
+                future.result()
+            pool.mark_broken()
+            assert not pool.alive
+            assert pool.submit(os.getpid).result() > 0
+            assert pool.spawn_count == 2
+
+    def test_rejects_non_positive_workers(self):
+        with pytest.raises(ValueError):
+            WorkerPool(0)
+
+
+# ---------------------------------------------------------------------------
+# Runner equivalence across substrate modes
+# ---------------------------------------------------------------------------
+
+
+class TestRunnerEquivalence:
+    def _jobs(self, small_profile, small_fp_profile):
+        return [
+            make_job(profile, configuration, phase=phase)
+            for profile in (small_profile, small_fp_profile)
+            for phase in (0, 1)
+            for configuration in CONFIGURATIONS
+        ]
+
+    def test_shm_pickle_serial_and_replay_agree_bitwise(
+        self, tmp_path, small_profile, small_fp_profile
+    ):
+        jobs = self._jobs(small_profile, small_fp_profile)
+        serial = [execute_job(job) for job in jobs]
+
+        with ParallelRunner(max_workers=2, trace_root=None, shared_memory=True) as runner:
+            shm_results = [m.to_dict() for m in runner.run(jobs)]
+            stats = runner.shm_stats()
+            assert stats["published"] == 4  # one segment per distinct trace
+            assert stats["segments"] == 4 and stats["bytes"] > 0
+        assert shm_results == serial
+
+        with ParallelRunner(max_workers=2, trace_root=None, shared_memory=False) as runner:
+            pickle_results = [m.to_dict() for m in runner.run(jobs)]
+            assert runner.shm_stats()["published"] == 0
+        assert pickle_results == serial
+
+        cache = ResultCache(tmp_path / "cache")
+        with ParallelRunner(max_workers=2, cache=cache, shared_memory=True) as runner:
+            first = [m.to_dict() for m in runner.run(jobs)]
+        with ParallelRunner(max_workers=2, cache=cache, shared_memory=True) as runner:
+            replay = [m.to_dict() for m in runner.run(jobs)]
+            assert runner.shm_stats()["published"] == 0  # everything cached
+        assert first == serial and replay == serial
+
+    def test_segments_stay_resident_across_runs(self, small_profile):
+        jobs = [make_job(small_profile, c, phase=p) for p in (0, 1) for c in CONFIGURATIONS]
+        with ParallelRunner(max_workers=2, trace_root=None, shared_memory=True) as runner:
+            runner.run(jobs)
+            assert runner.shm_stats()["published"] == 2
+            runner.run(jobs)
+            stats = runner.shm_stats()
+            # The second run reused the resident segments instead of
+            # republishing -- the cross-run win the substrate exists for.
+            assert stats["published"] == 2
+            assert stats["reused"] == 2
+            assert stats["segments"] == 2
+        assert ParallelRunner(max_workers=2).shm_stats()["segments"] == 0
+
+    def test_shm_parent_accounts_trace_traffic(
+        self, tmp_path, small_profile, small_fp_profile
+    ):
+        """In shm mode the parent acquires traces (workers attach), so store
+        traffic lands on the runner's own counters -- [traces] stays truthful."""
+        root = tmp_path / "traces"
+        jobs = self._jobs(small_profile, small_fp_profile)
+        with ParallelRunner(max_workers=2, trace_root=root, shared_memory=True) as runner:
+            runner.run(jobs)
+            assert runner.trace_stats() == {"hits": 0, "misses": 4, "stores": 4}
+        _TRACE_MEMO.clear()
+        with ParallelRunner(max_workers=2, trace_root=root, shared_memory=True) as replay:
+            replay.run(jobs)
+            assert replay.trace_stats() == {"hits": 4, "misses": 0, "stores": 0}
+
+    def test_run_stream_yields_every_index_once(self, tmp_path, small_profile):
+        jobs = [make_job(small_profile, c, phase=p) for p in (0, 1) for c in CONFIGURATIONS]
+        cache = ResultCache(tmp_path / "cache")
+        # Pre-seed half the jobs so the stream mixes cached and fresh results.
+        ParallelRunner(cache=cache).run(jobs[::2])
+        with ParallelRunner(max_workers=2, cache=cache, shared_memory=True) as runner:
+            streamed = dict(runner.run_stream(jobs))
+        assert sorted(streamed) == list(range(len(jobs)))
+        serial = ParallelRunner(trace_root=None).run(jobs)
+        assert [streamed[i].to_dict() for i in range(len(jobs))] == [
+            m.to_dict() for m in serial
+        ]
+
+
+# ---------------------------------------------------------------------------
+# Runner lifecycle: shutdown, respawn, crash containment
+# ---------------------------------------------------------------------------
+
+
+class TestRunnerLifecycle:
+    def test_run_after_shutdown_respawns_transparently(self, small_profile):
+        jobs = [make_job(small_profile, c, phase=p) for p in (0, 1) for c in CONFIGURATIONS]
+        runner = ParallelRunner(max_workers=2, trace_root=None, shared_memory=True)
+        try:
+            first = [m.to_dict() for m in runner.run(jobs)]
+            runner.shutdown()
+            assert runner.shm_stats()["segments"] == 0  # segments unlinked
+            second = [m.to_dict() for m in runner.run(jobs)]
+            assert second == first
+            # Cumulative counters survive the shutdown/respawn cycle: the
+            # second run republished both traces on top of the first two.
+            stats = runner.shm_stats()
+            assert stats["published"] == 4
+            assert stats["unlinked"] == 2
+        finally:
+            runner.shutdown()
+
+    def test_context_manager_releases_everything(self, small_profile):
+        jobs = [make_job(small_profile, c, phase=p) for p in (0, 1) for c in CONFIGURATIONS]
+        with ParallelRunner(max_workers=2, trace_root=None, shared_memory=True) as runner:
+            runner.run(jobs)
+            assert runner.shm_stats()["segments"] == 2
+        assert runner.shm_stats()["segments"] == 0
+        assert runner.shm_stats()["unlinked"] == 2
+
+    def test_experiment_runner_context_manager_releases_engine(self, small_profile):
+        from repro.experiments.runner import ExperimentRunner, ExperimentSettings
+
+        engine = ParallelRunner(max_workers=2, trace_root=None, shared_memory=True)
+        jobs = [make_job(small_profile, c, phase=p) for p in (0, 1) for c in CONFIGURATIONS]
+        with ExperimentRunner(ExperimentSettings(), engine=engine) as runner:
+            runner.engine.run(jobs)
+            assert runner.engine.shm_stats()["segments"] == 2
+        assert engine.shm_stats()["segments"] == 0
+        # Non-terminal: the engine respawns transparently on the next use.
+        assert len(engine.run(jobs)) == len(jobs)
+        engine.shutdown()
+
+    def test_worker_crash_is_contained(self, monkeypatch, small_profile):
+        """A dying worker surfaces as a clear error, leaks neither segments
+        nor executor processes, and the next run works."""
+        import repro.engine.parallel as parallel_module
+
+        jobs = [make_job(small_profile, c, phase=p) for p in (0, 1) for c in CONFIGURATIONS]
+        runner = ParallelRunner(max_workers=2, trace_root=None, shared_memory=True)
+        try:
+            real_task = parallel_module._execute_segment_batch
+            monkeypatch.setattr(
+                parallel_module, "_execute_segment_batch", _crash_task
+            )
+            with pytest.raises(RuntimeError, match="worker process died"):
+                runner.run(jobs)
+            assert not runner._pool.alive  # poisoned pool was discarded
+            monkeypatch.setattr(parallel_module, "_execute_segment_batch", real_task)
+            results = [m.to_dict() for m in runner.run(jobs)]
+            serial = [execute_job(job) for job in jobs]
+            assert results == serial
+        finally:
+            runner.shutdown()
+
+    def test_dropped_runner_does_not_leak_segments(self, small_profile):
+        jobs = [make_job(small_profile, c, phase=p) for p in (0, 1) for c in CONFIGURATIONS]
+        runner = ParallelRunner(max_workers=2, trace_root=None, shared_memory=True)
+        runner.run(jobs)
+        assert runner.shm_stats()["segments"] == 2
+        del runner
+        gc.collect()
+        # The autouse fixture asserts /dev/shm is clean after this test.
+
+
+def _crash_task(jobs, segment_name):  # pragma: no cover - runs in a worker
+    os._exit(13)
