@@ -9,7 +9,10 @@ programs and the machine configuration come from shared session fixtures in
 
 The simulator-throughput benchmarks drive the production path: a
 pre-compiled :class:`~repro.uops.compiled.CompiledTrace` (what the engine
-loads from the artifact store) through the compiled kernel.  The
+loads from the artifact store) through the default (vectorized) kernel.
+The ``*_interpreter`` variants pin the µop-object interpreter kernel on the
+same trace -- the wall-clock ratio of the two is the kernel-speedup
+headline that ``scripts/check_bench_regression.py`` guards.  The
 ``*_uop_objects`` variant keeps the µop-object entry point timed as well, so
 the cost of compiling on entry stays visible.  Every simulator benchmark
 records ``uops_per_second`` in ``extra_info`` -- the number the DESIGN.md
@@ -68,6 +71,47 @@ def test_simulator_throughput_vc(benchmark, gzip_trace, gzip_compiled_trace, sub
         return ClusteredProcessor(substrate_config, VirtualClusterSteering(2)).run(
             gzip_compiled_trace
         )
+
+    metrics = benchmark(run)
+    _record_throughput(benchmark, metrics, len(gzip_compiled_trace))
+    assert metrics.committed_uops == len(gzip_compiled_trace)
+
+
+def test_simulator_throughput_op_interpreter(
+    benchmark, gzip_trace, gzip_compiled_trace, substrate_config
+):
+    """The interpreter (golden-reference) kernel under the OP policy.
+
+    Identical workload and metrics to ``test_simulator_throughput_op``; the
+    wall-clock ratio of the two benchmarks is the vectorized-kernel speedup
+    headline enforced by ``scripts/check_bench_regression.py``.
+    """
+    program, _ = gzip_trace
+    program.clear_annotations()
+    gzip_compiled_trace.annotate_from(program)
+
+    def run():
+        return ClusteredProcessor(
+            substrate_config, OccupancyAwareSteering(), kernel="interpreter"
+        ).run(gzip_compiled_trace)
+
+    metrics = benchmark(run)
+    _record_throughput(benchmark, metrics, len(gzip_compiled_trace))
+    assert metrics.committed_uops == len(gzip_compiled_trace)
+
+
+def test_simulator_throughput_vc_interpreter(
+    benchmark, gzip_trace, gzip_compiled_trace, substrate_config
+):
+    """The interpreter (golden-reference) kernel under the hybrid VC policy."""
+    program, _ = gzip_trace
+    VirtualClusterPartitioner(2).annotate_program(program)
+    gzip_compiled_trace.annotate_from(program)
+
+    def run():
+        return ClusteredProcessor(
+            substrate_config, VirtualClusterSteering(2), kernel="interpreter"
+        ).run(gzip_compiled_trace)
 
     metrics = benchmark(run)
     _record_throughput(benchmark, metrics, len(gzip_compiled_trace))

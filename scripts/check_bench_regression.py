@@ -1,24 +1,36 @@
-"""Diff a fresh engine-benchmark run against the committed snapshot.
+"""Diff fresh benchmark runs against the committed snapshots.
 
 Usage::
 
     PYTHONPATH=src python scripts/check_bench_regression.py            # runs pytest itself
     PYTHONPATH=src python scripts/check_bench_regression.py --fresh fresh.json
+    PYTHONPATH=src python scripts/check_bench_regression.py \
+        --fresh eng.json --substrate-fresh sub.json
     PYTHONPATH=src python scripts/check_bench_regression.py --strict   # warnings -> exit 1
 
 Compares per-benchmark throughput (1 / mean wall-clock) of a fresh
 ``benchmarks/test_engine_sweep.py`` run against the committed reference
-snapshot ``benchmarks/BENCH_engine.json`` and **warns** on any benchmark
-whose throughput regressed by more than the threshold (default 30 %).  It
-also recomputes the two headlines and warns when either falls below its
-floor:
+snapshot ``benchmarks/BENCH_engine.json`` -- and, when a substrate JSON is
+supplied (``--substrate-fresh``), of a ``benchmarks/test_simulator_
+throughput.py`` run against ``benchmarks/BENCH_substrate.json`` -- and
+**warns** on any benchmark whose throughput regressed by more than the
+threshold (default 30 %).  It also recomputes the headlines and warns when
+any falls below its floor:
 
 * **batching** -- the wall-clock speedup of the batched parallel sweep over
-  per-job parallel scheduling (floor 1.5x, the PR 4 number), and
+  per-job parallel scheduling (floor 1.5x, the PR 4 number),
 * **shared memory** -- the speedup of the shared-memory multi-trace sweep
   over the pickle-path multi-trace sweep (floor 0.85x: the substrate must at
   least match the PR 4 batched path; the sub-1.0 floor only absorbs
-  single-core CI noise, the committed snapshot itself records >=1.0x).
+  single-core CI noise, the committed snapshot itself records >=1.0x), and
+* **kernel speedup** (substrate suite) -- the vectorized two-tier kernel
+  versus the interpreter kernel on the same compiled trace, under the OP
+  and VC policies (floor 1.5x; the committed snapshot records >=2x).
+
+Name drift between a snapshot and the fresh run is reported both ways: a
+snapshot benchmark missing from the fresh run always warns, and when names
+are *also* new on the fresh side the script warns about a possible rename
+-- a renamed benchmark would otherwise silently stop being checked.
 
 Warnings do not fail the run by default (benchmark machines vary); pass
 ``--strict`` to turn them into a non-zero exit for gating jobs.
@@ -41,6 +53,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parents[1]
 SNAPSHOT_PATH = REPO_ROOT / "benchmarks" / "BENCH_engine.json"
 BENCH_FILE = REPO_ROOT / "benchmarks" / "test_engine_sweep.py"
+SUBSTRATE_SNAPSHOT_PATH = REPO_ROOT / "benchmarks" / "BENCH_substrate.json"
 
 #: The benchmark pair whose wall-clock ratio is the batching headline.
 SPEEDUP_BASELINE = "test_sweep_per_job_parallel"
@@ -51,6 +64,13 @@ MIN_SPEEDUP = 1.5
 SHM_BASELINE = "test_multi_trace_sweep_pickle"
 SHM_SUBJECT = "test_multi_trace_sweep_shm"
 MIN_SHM_SPEEDUP = 0.85
+
+#: Substrate pairs whose ratios are the vectorized-kernel speedup headlines.
+KERNEL_OP_BASELINE = "test_simulator_throughput_op_interpreter"
+KERNEL_OP_SUBJECT = "test_simulator_throughput_op"
+KERNEL_VC_BASELINE = "test_simulator_throughput_vc_interpreter"
+KERNEL_VC_SUBJECT = "test_simulator_throughput_vc"
+MIN_KERNEL_SPEEDUP = 1.5
 
 #: Exit code for a structurally broken bench JSON (fails CI unconditionally).
 SCHEMA_ERROR_EXIT = 2
@@ -112,6 +132,43 @@ def run_fresh(output: Path) -> None:
     subprocess.run(command, check=True, cwd=REPO_ROOT)
 
 
+def compare_means(snapshot: dict, fresh: dict, threshold: float) -> int:
+    """Print the snapshot-vs-fresh table for one suite; return the warning count."""
+    warnings = 0
+    print(f"{'benchmark':<42} {'snapshot':>10} {'fresh':>10} {'throughput':>11}")
+    for name in sorted(snapshot):
+        if name not in fresh:
+            print(f"{name:<42} missing from the fresh run")
+            warnings += 1
+            continue
+        snap_mean, fresh_mean = snapshot[name], fresh[name]
+        # Throughput ratio: >1 means faster than the snapshot.
+        ratio = snap_mean / fresh_mean
+        print(f"{name:<42} {snap_mean*1e3:>8.1f}ms {fresh_mean*1e3:>8.1f}ms {ratio:>10.2f}x")
+        regression = (1.0 - ratio) * 100.0
+        if regression > threshold:
+            print(
+                f"WARNING: {name} throughput regressed {regression:.0f}% "
+                f"(>{threshold:.0f}% threshold) vs the committed snapshot"
+            )
+            warnings += 1
+    missing = sorted(set(snapshot) - set(fresh))
+    extra = sorted(set(fresh) - set(snapshot))
+    for name in extra:
+        print(f"note: {name} has no snapshot entry (new benchmark?)")
+    if missing and extra:
+        # A rename shows up as one name vanishing while another appears; the
+        # vanished one would silently stop being regression-checked.
+        print(
+            "WARNING: benchmark names drifted between the snapshot and the "
+            f"fresh run (missing: {', '.join(missing)}; new: {', '.join(extra)}) "
+            "-- renamed benchmarks need the snapshot regenerated or they go "
+            "unchecked"
+        )
+        warnings += 1
+    return warnings
+
+
 def check_headline(fresh: dict, baseline: str, subject: str, floor: float, label: str) -> int:
     """Print one headline ratio; return 1 if it warned, else 0."""
     if baseline not in fresh or subject not in fresh:
@@ -143,6 +200,22 @@ def main(argv=None) -> int:
         help="fresh benchmark JSON to compare; omitted = run the benchmarks now",
     )
     parser.add_argument(
+        "--substrate-fresh",
+        type=Path,
+        default=None,
+        help=(
+            "fresh substrate benchmark JSON (test_simulator_throughput.py run) to "
+            "diff against benchmarks/BENCH_substrate.json; omitted = substrate "
+            "suite not checked"
+        ),
+    )
+    parser.add_argument(
+        "--substrate-snapshot",
+        type=Path,
+        default=SUBSTRATE_SNAPSHOT_PATH,
+        help="committed substrate snapshot (default benchmarks/BENCH_substrate.json)",
+    )
+    parser.add_argument(
         "--threshold",
         type=float,
         default=30.0,
@@ -162,32 +235,16 @@ def main(argv=None) -> int:
                 fresh_path = Path(tmp) / "fresh.json"
                 run_fresh(fresh_path)
                 fresh = load_means(fresh_path)
+        substrate_snapshot = substrate_fresh = None
+        if args.substrate_fresh is not None:
+            substrate_snapshot = load_means(args.substrate_snapshot)
+            substrate_fresh = load_means(args.substrate_fresh)
     except SchemaError as exc:
         # Broken tooling, not machine variance: fail regardless of --strict.
         print(f"SCHEMA ERROR: {exc}")
         return SCHEMA_ERROR_EXIT
 
-    warnings = 0
-    print(f"{'benchmark':<32} {'snapshot':>10} {'fresh':>10} {'throughput':>11}")
-    for name in sorted(snapshot):
-        if name not in fresh:
-            print(f"{name:<32} missing from the fresh run")
-            warnings += 1
-            continue
-        snap_mean, fresh_mean = snapshot[name], fresh[name]
-        # Throughput ratio: >1 means faster than the snapshot.
-        ratio = snap_mean / fresh_mean
-        print(f"{name:<32} {snap_mean*1e3:>8.1f}ms {fresh_mean*1e3:>8.1f}ms {ratio:>10.2f}x")
-        regression = (1.0 - ratio) * 100.0
-        if regression > args.threshold:
-            print(
-                f"WARNING: {name} throughput regressed {regression:.0f}% "
-                f"(>{args.threshold:.0f}% threshold) vs the committed snapshot"
-            )
-            warnings += 1
-    for name in sorted(set(fresh) - set(snapshot)):
-        print(f"note: {name} has no snapshot entry (new benchmark?)")
-
+    warnings = compare_means(snapshot, fresh, args.threshold)
     print()
     warnings += check_headline(
         fresh, SPEEDUP_BASELINE, SPEEDUP_SUBJECT, MIN_SPEEDUP, "batched-vs-per-job"
@@ -195,6 +252,25 @@ def main(argv=None) -> int:
     warnings += check_headline(
         fresh, SHM_BASELINE, SHM_SUBJECT, MIN_SHM_SPEEDUP, "shared-memory-vs-pickle"
     )
+
+    if substrate_fresh is not None:
+        print()
+        warnings += compare_means(substrate_snapshot, substrate_fresh, args.threshold)
+        print()
+        warnings += check_headline(
+            substrate_fresh,
+            KERNEL_OP_BASELINE,
+            KERNEL_OP_SUBJECT,
+            MIN_KERNEL_SPEEDUP,
+            "vectorized-kernel-vs-interpreter (OP)",
+        )
+        warnings += check_headline(
+            substrate_fresh,
+            KERNEL_VC_BASELINE,
+            KERNEL_VC_SUBJECT,
+            MIN_KERNEL_SPEEDUP,
+            "vectorized-kernel-vs-interpreter (VC)",
+        )
 
     if warnings:
         print(f"\n{warnings} warning(s).")

@@ -68,6 +68,25 @@ class IssueQueues:
         """Total entries of a ``kind`` queue (same in every cluster)."""
         return self._capacity[kind]
 
+    # -- flat-state views (the vectorized kernel's borrow surface) -----------------
+    def capacity_list(self) -> List[int]:
+        """Per-kind queue capacities as a flat list indexed by kind (copy)."""
+        return list(self._capacity)
+
+    def issue_width_list(self) -> List[int]:
+        """Per-kind issue widths as a flat list indexed by kind (copy)."""
+        return list(self._issue_width)
+
+    def occupancy_list(self) -> List[int]:
+        """The *live* flat occupancy list, indexed ``cluster * 3 + kind``.
+
+        The vectorized kernel borrows this list and mutates it in place, so
+        occupancy stays consistent between the kernel's own bookkeeping and
+        every :meth:`occupancy`/:meth:`free_entries` query (including the
+        steering context's) regardless of which kernel is running.
+        """
+        return self._occupancy
+
     def issue_width(self, kind: IssueQueueKind) -> int:
         """Issue bandwidth of a ``kind`` queue per cycle."""
         return self._issue_width[kind]

@@ -1,0 +1,699 @@
+"""The vectorized two-tier simulation kernel.
+
+:class:`VectorizedKernel` executes a bound :class:`~repro.uops.compiled.
+CompiledTrace` on flat, preallocated structure-of-arrays state instead of the
+interpreter's per-µop ``_InFlight``/:class:`~repro.cluster.rename.Value`
+object graph.  The design is two-tier (see DESIGN.md):
+
+* **Python tier** -- the dispatch stage and the steering-policy callback.
+  Policies may be stateful and are guaranteed to observe every cycle in
+  which the dispatch stage acts, in dispatch order, with the exact
+  machine-state view (:class:`~repro.steering.base.SteeringContext`) the
+  interpreter provides.  The kernel object *is* the context: occupancy,
+  queue-free and register-location queries read the same flat arrays the
+  kernel mutates.
+* **Array tier** -- everything else.  Issue/writeback/commit state lives in
+  preallocated parallel arrays indexed by *record slot* (µops and copy µops
+  share one slot space; slot order equals creation order, so the ready heaps
+  hold bare ints).  The per-trace dependence structure is precomputed once
+  (:meth:`~repro.uops.compiled.CompiledTrace.dependency_plan`, optionally
+  numba-jitted) and idle stretches are skipped in bulk exactly as the
+  interpreter does.
+
+The kernel is bit-identical to the interpreter: the golden-metrics suite and
+the kernel-parity suite run both on the same traces and compare metrics
+field-for-field.  The interpreter remains the golden reference
+(``kernel="interpreter"``); the vectorized kernel is the default.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+from typing import Dict, List, Optional
+
+from repro.steering.base import SteeringContext
+from repro.uops.compiled import CompiledTrace
+
+try:  # pragma: no cover - exercised only where numba is installed (CI matrix)
+    import numba  # noqa: F401
+
+    HAVE_NUMBA = True
+except ImportError:  # pragma: no cover - the default environment
+    HAVE_NUMBA = False
+
+#: Environment variable overriding the default kernel choice.
+KERNEL_ENV = "REPRO_KERNEL"
+
+#: Recognised kernel implementations.
+KERNELS = ("interpreter", "vectorized")
+
+#: Kernel used when neither the constructor nor the environment picks one.
+DEFAULT_KERNEL = "vectorized"
+
+
+def resolve_kernel(kernel: Optional[str] = None) -> str:
+    """Resolve a kernel choice to one of :data:`KERNELS`.
+
+    An explicit ``kernel`` of ``"interpreter"``/``"vectorized"`` wins (so
+    parity tests can pin both sides regardless of the environment);
+    ``None``/``"auto"`` defers to ``$REPRO_KERNEL`` when set and non-blank,
+    and falls back to :data:`DEFAULT_KERNEL` otherwise.
+    """
+    choice = kernel
+    if choice is None or choice == "auto":
+        env = os.environ.get(KERNEL_ENV)
+        if env is not None and env.strip():
+            choice = env.strip().lower()
+        else:
+            choice = DEFAULT_KERNEL
+    if choice not in KERNELS:
+        raise ValueError(
+            f"unknown simulation kernel {choice!r}; expected one of {KERNELS} or 'auto'"
+        )
+    return choice
+
+
+class VectorizedKernel(SteeringContext):
+    """Flat-state cycle kernel bound to one :class:`ClusteredProcessor`.
+
+    The processor owns configuration, policy, memory hierarchy, interconnect
+    and metrics; the kernel owns the execution state.  Mutable per-cluster
+    accounting (issue-queue occupancy, free physical registers, in-flight
+    counters) is *borrowed* from the processor's models via their live-list
+    accessors, so those models remain the single source of truth and the
+    steering-visible context stays consistent with the interpreter's.
+    """
+
+    __slots__ = (
+        # ``num_clusters`` implements the SteeringContext property as a slot:
+        # the descriptor shadows the abstract property, and policies (which
+        # read it on every pick) get a plain attribute load instead of a
+        # Python-level property call.
+        "num_clusters",
+        "_processor",
+        "_all_mask",
+        "_num_regs",
+        "_qcap",
+        "_issue_widths",
+        # per-trace hoists (bind time)
+        "_n",
+        "_u_meta",
+        "_def_uop",
+        "_def_reg",
+        "_dest_start",
+        "_num_defs",
+        "_u_latency",
+        "_u_is_memory",
+        "_u_address",
+        "_u_dest_counts",
+        # run-time state exposed through the SteeringContext interface
+        "_occ",
+        "_inflight",
+        "_cur_def",
+        "_def_mask",
+        "_def_home",
+    )
+
+    def __init__(self, processor) -> None:
+        self._processor = processor
+        config = processor.config
+        self.num_clusters = config.num_clusters
+        self._all_mask = (1 << config.num_clusters) - 1
+        self._num_regs = processor.register_space.total
+        self._qcap = processor.issue_queues.capacity_list()
+        self._issue_widths = processor.issue_queues.issue_width_list()
+        self._n = 0
+        self._occ: List[int] = []
+        self._inflight: List[int] = []
+        self._cur_def: List[int] = []
+        self._def_mask: List[int] = []
+        self._def_home: List[int] = []
+
+    # ------------------------------------------------ SteeringContext interface --
+    def cluster_occupancy(self, cluster: int) -> int:
+        """In-flight µops (including pending copies) assigned to ``cluster``."""
+        return self._inflight[cluster]
+
+    def queue_free(self, cluster: int, kind) -> int:
+        """Free entries of the ``kind`` issue queue of ``cluster``."""
+        return self._qcap[kind] - self._occ[cluster * 3 + kind]
+
+    def register_location_mask(self, reg: int) -> int:
+        """Location bitmask of architectural register ``reg`` (rename-table view)."""
+        d = self._cur_def[reg]
+        if d < 0:
+            # Live-in: available in every cluster (warmed-up machine), same
+            # as the interpreter's initial rename-table state.
+            return self._all_mask
+        return self._def_mask[d] | (1 << self._def_home[d])
+
+    # ------------------------------------------------------------------- binding --
+    def bind(self, compiled: CompiledTrace) -> None:
+        """Hoist the per-µop columns and the dependence plan of ``compiled``.
+
+        All hoists are shared caches on the trace (the interpreter uses the
+        same ones), so binding the same trace to many processors -- the batch
+        scheduler's layout -- pays the materialisation once.
+        """
+        plan = compiled.dependency_plan()
+        self._n = len(compiled)
+        self._def_uop = plan.def_uop
+        self._def_reg = plan.def_reg
+        self._dest_start = plan.dest_offsets
+        self._num_defs = plan.num_defs
+        self._u_meta = compiled.dispatch_meta(self._processor.register_space)
+        self._u_latency = compiled.latency_list()
+        self._u_is_memory = compiled.is_memory_list()
+        self._u_address = compiled.address_list()
+        self._u_dest_counts = compiled.dest_kind_counts(self._processor.register_space)
+
+    # ------------------------------------------------------------------- running --
+    def run(self, limit: int) -> None:
+        """Simulate the bound trace on the processor's freshly-reset state.
+
+        Mirrors the interpreter stage-for-stage (commit, writeback, issue,
+        dispatch, fetch, idle skip); every divergence would show up in the
+        parity suites.  On return ``processor.cycle`` and the scalar metric
+        counters are written back; list-valued metrics are updated in place.
+        """
+        proc = self._processor
+        config = proc.config
+        num_clusters = self.num_clusters
+        metrics = proc.metrics
+        view = proc._view
+        steering = proc.steering
+
+        # Borrowed live accounting (fresh from _reset_state): the issue-queue
+        # occupancy, register-file free counts and per-cluster in-flight
+        # counters stay owned by their models; the kernel mutates them in
+        # place so context queries and post-run introspection agree.
+        occ = proc.issue_queues.occupancy_list()
+        inflight = proc._cluster_inflight
+        free_int = proc.regfiles.free_int_list()
+        free_fp = proc.regfiles.free_fp_list()
+        self._occ = occ
+        self._inflight = inflight
+
+        # Per-trace hoists.
+        n = self._n
+        meta = self._u_meta
+        def_uop = self._def_uop
+        def_reg = self._def_reg
+        dest_start = self._dest_start
+        latency = self._u_latency
+        is_memory = self._u_is_memory
+        address = self._u_address
+        dcounts = self._u_dest_counts
+
+        # Register-definition state: one slot per in-trace definition
+        # (replaces the interpreter's per-definition Value objects).
+        def_mask = [0] * self._num_defs
+        def_home = [0] * self._num_defs
+        cur_def = [-1] * self._num_regs
+        self._def_mask = def_mask
+        self._def_home = def_home
+        self._cur_def = cur_def
+        copy_map: Dict[int, int] = {}  # def id * num_clusters + target -> copy slot
+
+        # Record slots (µops and copies share one space; slot order equals
+        # creation order, so heaps of bare slot ints pop oldest-first exactly
+        # like the interpreter's (seq, record) heaps).
+        cap = n + 16
+        rec_uop = [-1] * cap  # trace index, -1 for copy µops
+        rec_cluster = [0] * cap
+        rec_qslot = [0] * cap  # cluster * 3 + queue kind
+        rec_pending = [0] * cap
+        rec_completed = [False] * cap
+        rec_isload = [False] * cap
+        rec_copydef = [0] * cap
+        rec_copytarget = [0] * cap
+        rec_waiters: List[Optional[List[int]]] = [None] * cap
+        next_slot = 0
+        uop_slot = [0] * n
+        # Trace-index mirrors of the commit-relevant record state: commit
+        # retires in trace order, so reading these avoids the slot
+        # indirection on the (µop-count) hottest retirement path.
+        uop_completed = [False] * n
+        uop_cluster = [0] * n
+
+        # Ready heaps per (cluster, kind); loads separate (L1 port sharing).
+        ready: List[List[int]] = [[] for _ in range(num_clusters * 3)]
+        ready_loads: List[List[int]] = [[] for _ in range(num_clusters * 3)]
+        total_ready = 0
+        events: Dict[int, List[int]] = {}
+        event_heap: List[int] = []
+
+        # In-order window counters: µops dispatch in trace order, so the ROB
+        # and the dispatch buffer are index ranges over the trace.
+        commit_idx = 0  # next µop (trace index) to commit
+        dispatch_pos = 0  # next µop to dispatch; [commit_idx, dispatch_pos) = ROB
+        fetch_pos = 0  # [dispatch_pos, fetch_pos) = dispatch buffer
+        ready_at = [0] * n  # dispatch-ready cycle per fetched µop
+        trace_exhausted = False
+        lsq_count = 0
+        uops_in_flight = 0
+        redirect_slot = -1
+        blocked_until = 0
+        cycle = 0
+
+        # Configuration scalars.
+        commit_width = config.commit_width
+        dispatch_width = config.dispatch_width
+        fetch_width = config.fetch_width
+        fetch_latency = config.fetch_to_dispatch_latency
+        rob_size = config.rob_size
+        lsq_size = config.lsq_size
+        read_ports = config.l1_read_ports
+        redirect_penalty = config.mispredict_redirect_penalty
+        model_mispredict = config.model_branch_mispredictions
+        buffer_cap = proc._dispatch_buffer_cap
+        qcap = self._qcap
+        cap_copy = qcap[2]
+        issue_widths = self._issue_widths
+        qslot_range = range(num_clusters * 3)
+        width_by_qslot = [issue_widths[qslot % 3] for qslot in qslot_range]
+        idle_skip = proc.idle_skip
+
+        # Scalar metrics as locals (flushed in the finally block); the
+        # list-valued ones are cheap enough to update in place.
+        m_committed = 0
+        m_dispatched = 0
+        m_copies = 0
+        m_steer = 0
+        m_rob = 0
+        m_lsq = 0
+        m_mispredict_stalls = 0
+        m_branches = 0
+        m_mispredictions = 0
+        alloc_stalls = metrics.allocation_stalls
+        cluster_dispatch = metrics.cluster_dispatch
+        cluster_copies = metrics.cluster_copies
+
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        pick_cluster = steering.pick_cluster
+        steering_name = steering.name
+        schedule_transfer = proc.interconnect.schedule_transfer
+        load_latency = proc.memory.load_latency
+        store_access = proc.memory.store_access
+        copy_map_get = copy_map.get
+        events_get = events.get
+        events_pop = events.pop
+
+        try:
+            while True:
+                if (
+                    trace_exhausted
+                    and dispatch_pos == fetch_pos
+                    and commit_idx == dispatch_pos
+                    and uops_in_flight == 0
+                ):
+                    break
+
+                # ------------------------------------------------------ commit --
+                if commit_idx < dispatch_pos and uop_completed[commit_idx]:
+                    committed = 0
+                    while True:
+                        cluster = uop_cluster[commit_idx]
+                        inflight[cluster] -= 1
+                        uops_in_flight -= 1
+                        di, df = dcounts[commit_idx]
+                        if di or df:
+                            free_int[cluster] += di
+                            free_fp[cluster] += df
+                        if is_memory[commit_idx]:
+                            lsq_count -= 1
+                        commit_idx += 1
+                        committed += 1
+                        if (
+                            committed >= commit_width
+                            or commit_idx >= dispatch_pos
+                            or not uop_completed[commit_idx]
+                        ):
+                            break
+                    m_committed += committed
+
+                # --------------------------------------------------- writeback --
+                bucket = events_pop(cycle, None)
+                if bucket is not None:
+                    # Drop the drained key (and any already-drained stragglers)
+                    # so the idle skip reads the next event in O(1).
+                    while event_heap and event_heap[0] <= cycle:
+                        heappop(event_heap)
+                    for slot in bucket:
+                        rec_completed[slot] = True
+                        uop = rec_uop[slot]
+                        if uop < 0:
+                            # Copy arrived: value now available in the target
+                            # cluster, producing cluster no longer loaded.
+                            def_mask[rec_copydef[slot]] |= 1 << rec_copytarget[slot]
+                            inflight[rec_cluster[slot]] -= 1
+                            uops_in_flight -= 1
+                        else:
+                            uop_completed[uop] = True
+                            bit = 1 << rec_cluster[slot]
+                            for d in range(dest_start[uop], dest_start[uop + 1]):
+                                def_mask[d] |= bit
+                            if slot == redirect_slot:
+                                # Mispredicted branch resolved: front end
+                                # restarts after the redirect penalty.
+                                redirect_slot = -1
+                                blocked_until = cycle + redirect_penalty
+                        waiters = rec_waiters[slot]
+                        if waiters is not None:
+                            for waiter in waiters:
+                                pending = rec_pending[waiter] - 1
+                                rec_pending[waiter] = pending
+                                if pending == 0:
+                                    qslot = rec_qslot[waiter]
+                                    heappush(
+                                        ready_loads[qslot]
+                                        if rec_isload[waiter]
+                                        else ready[qslot],
+                                        waiter,
+                                    )
+                                    total_ready += 1
+                            rec_waiters[slot] = None
+
+                # ------------------------------------------------------- issue --
+                if total_ready:
+                    loads_issued = 0
+                    for qslot in qslot_range:
+                        main = ready[qslot]
+                        loads = ready_loads[qslot]
+                        if not main and not loads:
+                            continue
+                        width = width_by_qslot[qslot]
+                        issued = 0
+                        while issued < width:
+                            # Merge the two heaps by age; once the shared
+                            # L1 read ports are saturated, ready loads
+                            # stay untouched on theirs.
+                            if (
+                                loads
+                                and loads_issued < read_ports
+                                and (not main or loads[0] < main[0])
+                            ):
+                                slot = heappop(loads)
+                                was_load = True
+                            elif main:
+                                slot = heappop(main)
+                                was_load = False
+                            else:
+                                break
+                            total_ready -= 1
+                            occ[qslot] -= 1
+                            uop = rec_uop[slot]
+                            if uop < 0:
+                                # One execute cycle in the producing
+                                # cluster, then the link.
+                                when = schedule_transfer(
+                                    rec_cluster[slot], rec_copytarget[slot], cycle + 1
+                                )
+                            elif was_load:
+                                lat = latency[uop] + load_latency(address[uop])
+                                loads_issued += 1
+                                when = cycle + (lat if lat > 1 else 1)
+                            else:
+                                lat = latency[uop]
+                                if is_memory[uop]:
+                                    store_access(address[uop])
+                                when = cycle + (lat if lat > 1 else 1)
+                            bucket = events_get(when)
+                            if bucket is None:
+                                events[when] = [slot]
+                                heappush(event_heap, when)
+                            else:
+                                bucket.append(slot)
+                            issued += 1
+
+                # ---------------------------------------------------- dispatch --
+                if dispatch_pos < fetch_pos:
+                    dispatched = 0
+                    # The front-end redirect state only changes in writeback
+                    # (resolution) and right here (a mispredicted branch
+                    # dispatching), so it is a flag, not a per-µop re-check.
+                    blocked = redirect_slot >= 0 or cycle < blocked_until
+                    while dispatched < dispatch_width and dispatch_pos < fetch_pos:
+                        index = dispatch_pos
+                        if ready_at[index] > cycle:
+                            break
+                        if blocked:
+                            m_mispredict_stalls += 1
+                            break
+                        view.index = index
+                        cluster = pick_cluster(view, self)
+                        if cluster is None:
+                            m_steer += 1
+                            break
+                        if cluster < 0 or cluster >= num_clusters:
+                            raise ValueError(
+                                f"steering policy {steering_name} returned "
+                                f"invalid cluster {cluster}"
+                            )
+                        # ---- resource checks (the interpreter's _try_dispatch) --
+                        if dispatch_pos - commit_idx >= rob_size:
+                            m_rob += 1
+                            break
+                        (
+                            kind,
+                            uop_is_memory,
+                            uop_is_load,
+                            uop_is_branch,
+                            uop_mispredicted,
+                            di,
+                            df,
+                            dep_row,
+                            dest_lo,
+                            dest_hi,
+                        ) = meta[index]
+                        if uop_is_memory and lsq_count >= lsq_size:
+                            m_lsq += 1
+                            break
+                        qslot = cluster * 3 + kind
+                        if qcap[kind] - occ[qslot] <= 0:
+                            alloc_stalls[cluster] += 1
+                            break
+                        if (di or df) and (
+                            free_int[cluster] < di or free_fp[cluster] < df
+                        ):
+                            alloc_stalls[cluster] += 1
+                            break
+                        # ---- operand planning over definition ids --------------
+                        wait_on = None
+                        new_copies = None
+                        for d in dep_row:
+                            if def_mask[d] >> cluster & 1:
+                                continue
+                            pslot = uop_slot[def_uop[d]]
+                            if not rec_completed[pslot] and rec_cluster[pslot] == cluster:
+                                if wait_on is None:
+                                    wait_on = [pslot]
+                                else:
+                                    wait_on.append(pslot)
+                                continue
+                            cslot = copy_map_get(d * num_clusters + cluster)
+                            if cslot is not None and not rec_completed[cslot]:
+                                if wait_on is None:
+                                    wait_on = [cslot]
+                                else:
+                                    wait_on.append(cslot)
+                                continue
+                            source = def_home[d]
+                            if source == cluster:
+                                # The value appears here without a copy; wait
+                                # on the producer if it is still in flight.
+                                if not rec_completed[pslot]:
+                                    if wait_on is None:
+                                        wait_on = [pslot]
+                                    else:
+                                        wait_on.append(pslot)
+                                continue
+                            if new_copies is None:
+                                new_copies = [(d, source)]
+                            else:
+                                new_copies.append((d, source))
+                        if new_copies is not None:
+                            # Every needed copy queue must have room, counting
+                            # multiple copies from the same source cluster.
+                            if len(new_copies) == 1:
+                                source = new_copies[0][1]
+                                if cap_copy - occ[source * 3 + 2] < 1:
+                                    alloc_stalls[source] += 1
+                                    break
+                            else:
+                                demand: Dict[int, int] = {}
+                                for d, source in new_copies:
+                                    demand[source] = demand.get(source, 0) + 1
+                                blocked_source = -1
+                                for source, need in demand.items():
+                                    if cap_copy - occ[source * 3 + 2] < need:
+                                        blocked_source = source
+                                        break
+                                if blocked_source >= 0:
+                                    alloc_stalls[blocked_source] += 1
+                                    break
+                        # ---- every resource available: perform the dispatch ----
+                        if next_slot + num_clusters > cap:
+                            grow = cap
+                            rec_uop += [-1] * grow
+                            rec_cluster += [0] * grow
+                            rec_qslot += [0] * grow
+                            rec_pending += [0] * grow
+                            rec_completed += [False] * grow
+                            rec_isload += [False] * grow
+                            rec_copydef += [0] * grow
+                            rec_copytarget += [0] * grow
+                            rec_waiters += [None] * grow
+                            cap += grow
+                        slot = next_slot
+                        next_slot = slot + 1
+                        rec_uop[slot] = index
+                        rec_cluster[slot] = cluster
+                        rec_qslot[slot] = qslot
+                        rec_isload[slot] = uop_is_load
+                        uop_slot[index] = slot
+                        uop_cluster[index] = cluster
+                        if new_copies is not None:
+                            for d, source in new_copies:
+                                cslot = next_slot
+                                next_slot = cslot + 1
+                                rec_cluster[cslot] = source
+                                rec_qslot[cslot] = source * 3 + 2
+                                rec_copydef[cslot] = d
+                                rec_copytarget[cslot] = cluster
+                                pslot = uop_slot[def_uop[d]]
+                                if rec_completed[pslot]:
+                                    rec_pending[cslot] = 0
+                                    heappush(ready[source * 3 + 2], cslot)
+                                    total_ready += 1
+                                else:
+                                    rec_pending[cslot] = 1
+                                    waiters = rec_waiters[pslot]
+                                    if waiters is None:
+                                        rec_waiters[pslot] = [cslot]
+                                    else:
+                                        waiters.append(cslot)
+                                occ[source * 3 + 2] += 1
+                                inflight[source] += 1
+                                uops_in_flight += 1
+                                m_copies += 1
+                                cluster_copies[source] += 1
+                                copy_map[d * num_clusters + cluster] = cslot
+                                if wait_on is None:
+                                    wait_on = [cslot]
+                                else:
+                                    wait_on.append(cslot)
+                        if wait_on is None:
+                            heappush(
+                                ready_loads[qslot] if uop_is_load else ready[qslot],
+                                slot,
+                            )
+                            total_ready += 1
+                        else:
+                            rec_pending[slot] = len(wait_on)
+                            for dep_slot in wait_on:
+                                waiters = rec_waiters[dep_slot]
+                                if waiters is None:
+                                    rec_waiters[dep_slot] = [slot]
+                                else:
+                                    waiters.append(slot)
+                        occ[qslot] += 1
+                        if di or df:
+                            free_int[cluster] -= di
+                            free_fp[cluster] -= df
+                        if uop_is_memory:
+                            lsq_count += 1
+                        inflight[cluster] += 1
+                        uops_in_flight += 1
+                        m_dispatched += 1
+                        cluster_dispatch[cluster] += 1
+                        for d in range(dest_lo, dest_hi):
+                            cur_def[def_reg[d]] = d
+                            def_home[d] = cluster
+                        if uop_is_branch:
+                            m_branches += 1
+                            if uop_mispredicted and model_mispredict:
+                                m_mispredictions += 1
+                                redirect_slot = slot
+                                blocked = True
+                        dispatch_pos += 1
+                        dispatched += 1
+
+                # ------------------------------------------------------- fetch --
+                if not trace_exhausted:
+                    ready_cycle = cycle + fetch_latency
+                    fetched = 0
+                    while fetched < fetch_width and fetch_pos - dispatch_pos < buffer_cap:
+                        if fetch_pos >= n:
+                            trace_exhausted = True
+                            break
+                        ready_at[fetch_pos] = ready_cycle
+                        fetch_pos += 1
+                        fetched += 1
+
+                cycle += 1
+                if cycle > limit:
+                    raise RuntimeError(
+                        f"simulation exceeded {limit} cycles "
+                        f"({m_committed} µops committed); possible deadlock"
+                    )
+
+                # --------------------------------------------------- idle skip --
+                # Same veto conditions and candidate set as the interpreter's
+                # _skip_idle_cycles (see its docstring for the argument);
+                # cycles in which the dispatch stage would act are never
+                # skipped, so stateful policies observe every acting cycle.
+                if not idle_skip:
+                    continue
+                if total_ready:
+                    continue
+                if commit_idx < dispatch_pos and uop_completed[commit_idx]:
+                    continue
+                if not trace_exhausted and fetch_pos - dispatch_pos < buffer_cap:
+                    continue
+                buffer = dispatch_pos < fetch_pos
+                if (
+                    trace_exhausted
+                    and not buffer
+                    and commit_idx == dispatch_pos
+                    and uops_in_flight == 0
+                ):
+                    continue  # finished; the loop head breaks
+                redirect = redirect_slot >= 0
+                blocked = redirect or cycle < blocked_until
+                head_ready = ready_at[dispatch_pos] if buffer else 0
+                if buffer and not blocked and head_ready <= cycle:
+                    continue  # the dispatch stage acts this cycle
+                goal = limit + 1
+                if event_heap:
+                    next_event = event_heap[0]
+                    if next_event < goal:
+                        goal = next_event
+                if buffer and not blocked:
+                    if head_ready < goal:
+                        goal = head_ready
+                elif blocked and not redirect:
+                    if blocked_until < goal:
+                        goal = blocked_until
+                if goal <= cycle:
+                    continue
+                if buffer and blocked:
+                    # Redirect-stalled cycles with a dispatch-ready head count
+                    # one mispredict stall each; account the skipped ones.
+                    stalled = goal - (cycle if cycle > head_ready else head_ready)
+                    if stalled > 0:
+                        m_mispredict_stalls += stalled
+                cycle = goal
+        finally:
+            proc.cycle = cycle
+            metrics.committed_uops += m_committed
+            metrics.dispatched_uops += m_dispatched
+            metrics.copies_generated += m_copies
+            metrics.steering_stalls += m_steer
+            metrics.rob_stalls += m_rob
+            metrics.lsq_stalls += m_lsq
+            metrics.mispredict_stalls += m_mispredict_stalls
+            metrics.branches += m_branches
+            metrics.mispredictions += m_mispredictions

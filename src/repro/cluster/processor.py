@@ -40,12 +40,11 @@ import heapq
 from collections import deque
 from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
 
-import numpy as np
-
 from repro.cluster.cache import MemoryHierarchy
 from repro.cluster.config import ClusterConfig
 from repro.cluster.interconnect import Interconnect
 from repro.cluster.issue_queue import IssueQueues
+from repro.cluster.kernel import VectorizedKernel, resolve_kernel
 from repro.cluster.lsq import LoadStoreQueue
 from repro.cluster.metrics import SimulationMetrics
 from repro.cluster.regfile import RegisterFiles
@@ -122,6 +121,14 @@ class ClusteredProcessor(SteeringContext):
         The run-time steering policy (one of :mod:`repro.steering`).
     register_space:
         Architectural register namespace of the traces to be executed.
+    kernel:
+        Simulation kernel: ``"interpreter"`` (the original object-graph
+        reference implementation), ``"vectorized"`` (the flat-state two-tier
+        kernel, bit-identical and several times faster) or ``"auto"``/
+        ``None`` to follow ``$REPRO_KERNEL`` and the built-in default.  The
+        choice affects throughput only -- never metrics -- so it is a
+        processor knob, not a :class:`ClusterConfig` field (result caches key
+        on the config and must not fragment by kernel).
     """
 
     def __init__(
@@ -129,12 +136,21 @@ class ClusteredProcessor(SteeringContext):
         config: ClusterConfig,
         steering: SteeringPolicy,
         register_space: RegisterSpace = DEFAULT_REGISTER_SPACE,
+        kernel: Optional[str] = None,
     ) -> None:
         self.config = config
         self.steering = steering
         self.register_space = register_space
+        self.kernel = resolve_kernel(kernel)
+        #: Test/debug knob: ``False`` steps every cycle instead of skipping
+        #: provably idle stretches (the skip-vs-step parity suite pins that
+        #: both settings produce bit-identical metrics on both kernels).
+        self.idle_skip = True
         self._bound: Optional[CompiledTrace] = None
         self._reset_state()
+        self._vkernel = (
+            VectorizedKernel(self) if self.kernel == "vectorized" else None
+        )
 
     # ------------------------------------------------------------------ state --
     def _reset_state(self) -> None:
@@ -184,6 +200,8 @@ class ClusteredProcessor(SteeringContext):
         self._u_dests = compiled.dest_tuples()
         self._u_usrcs = compiled.unique_src_tuples()
         self._u_dest_counts = compiled.dest_kind_counts(self.register_space)
+        if self._vkernel is not None:
+            self._vkernel.bind(compiled)
 
     # ------------------------------------------------ SteeringContext interface --
     @property
@@ -271,14 +289,19 @@ class ClusteredProcessor(SteeringContext):
         if self.config.warm_caches:
             self._warm_caches(compiled)
         limit = max_cycles if max_cycles is not None else self.config.max_cycles
-        while not self._finished():
-            self._step()
-            if self.cycle > limit:
-                raise RuntimeError(
-                    f"simulation exceeded {limit} cycles "
-                    f"({self.metrics.committed_uops} µops committed); possible deadlock"
-                )
-            self._skip_idle_cycles(limit)
+        if self._vkernel is not None:
+            self._vkernel.run(limit)
+        else:
+            idle_skip = self.idle_skip
+            while not self._finished():
+                self._step()
+                if self.cycle > limit:
+                    raise RuntimeError(
+                        f"simulation exceeded {limit} cycles "
+                        f"({self.metrics.committed_uops} µops committed); possible deadlock"
+                    )
+                if idle_skip:
+                    self._skip_idle_cycles(limit)
         self.metrics.cycles = self.cycle
         self.metrics.cache = self.memory.summary()
         self.metrics.vc_remaps = getattr(self.steering, "remap_count", 0)
@@ -316,13 +339,14 @@ class ClusteredProcessor(SteeringContext):
         and conflict behaviour are preserved (the working set still may not
         fit), but one-time compulsory misses do not dominate the short trace.
         """
-        addresses = compiled.address_list()
-        is_load = compiled.is_load_list()
-        for index in np.flatnonzero(compiled.is_memory).tolist():
-            if is_load[index]:
-                self.memory.load_latency(addresses[index])
+        addresses, loads = compiled.memory_access_plan()
+        load_latency = self.memory.load_latency
+        store_access = self.memory.store_access
+        for address, is_load in zip(addresses, loads):
+            if is_load:
+                load_latency(address)
             else:
-                self.memory.store_access(addresses[index])
+                store_access(address)
         self.memory.l1.reset_stats()
         self.memory.l2.reset_stats()
 
@@ -344,11 +368,14 @@ class ClusteredProcessor(SteeringContext):
 
     # ------------------------------------------------------------ idle skipping --
     def _next_event_cycle(self) -> Optional[int]:
-        """Cycle of the earliest pending writeback event, or ``None``."""
+        """Cycle of the earliest pending writeback event, or ``None``.
+
+        ``_writeback`` drops drained keys from the heap eagerly, so the heap
+        top is always live -- the old lazy-deletion pop loop here paid
+        O(log n) per stale key on every idle-skip probe (the heap-hygiene
+        regression test pins the invariant).
+        """
         heap = self._event_heap
-        events = self._events
-        while heap and heap[0] not in events:
-            heapq.heappop(heap)
         return heap[0] if heap else None
 
     def _skip_idle_cycles(self, limit: int) -> None:
@@ -405,7 +432,7 @@ class ClusteredProcessor(SteeringContext):
 
     # ------------------------------------------------------------------ commit --
     def _commit(self) -> None:
-        retired = self.rob.commit_ready(self.config.commit_width, lambda r: r.completed)
+        retired = self.rob.commit_completed(self.config.commit_width)
         for record in retired:
             self.metrics.committed_uops += 1
             self._cluster_inflight[record.cluster] -= 1
@@ -420,6 +447,14 @@ class ClusteredProcessor(SteeringContext):
         records = self._events.pop(self.cycle, None)
         if not records:
             return
+        # Eager heap hygiene: this cycle's key (and any already-drained
+        # stragglers) leave the heap with the bucket, so the idle skip's
+        # next-event probe is a plain heap peek.  Skipping never jumps past
+        # an event cycle, so every key at or below the current cycle is
+        # necessarily drained.
+        heap = self._event_heap
+        while heap and heap[0] <= self.cycle:
+            heapq.heappop(heap)
         push_ready = self.issue_queues.push_ready
         for record in records:
             record.completed = True
@@ -690,6 +725,7 @@ def simulate_trace(
     config: Optional[ClusterConfig] = None,
     register_space: RegisterSpace = DEFAULT_REGISTER_SPACE,
     max_cycles: Optional[int] = None,
+    kernel: Optional[str] = None,
 ) -> SimulationMetrics:
     """Convenience wrapper: run ``trace`` on a machine with ``steering``.
 
@@ -707,6 +743,10 @@ def simulate_trace(
         Architectural register namespace used by the trace.
     max_cycles:
         Optional override of the deadlock guard.
+    kernel:
+        Simulation kernel override (see :class:`ClusteredProcessor`).
     """
-    processor = ClusteredProcessor(config or ClusterConfig(), steering, register_space)
+    processor = ClusteredProcessor(
+        config or ClusterConfig(), steering, register_space, kernel=kernel
+    )
     return processor.run(trace, max_cycles=max_cycles)

@@ -37,6 +37,15 @@ class RegisterFiles:
     def _pool(self, kind: RegisterKind) -> List[int]:
         return self._free_int if kind == RegisterKind.INT else self._free_fp
 
+    # -- flat-state views (the vectorized kernel's borrow surface) -----------------
+    def free_int_list(self) -> List[int]:
+        """The *live* per-cluster free-INT-register list (mutated in place)."""
+        return self._free_int
+
+    def free_fp_list(self) -> List[int]:
+        """The *live* per-cluster free-FP-register list (mutated in place)."""
+        return self._free_fp
+
     def free_registers(self, cluster: int, kind: RegisterKind) -> int:
         """Free physical registers of ``kind`` in ``cluster``."""
         return self._pool(kind)[cluster]

@@ -113,10 +113,13 @@ def _env_trace_memo_cap() -> Optional[int]:
 
     A malformed or non-positive value cannot crash (or silently misconfigure)
     a run that never asked for a custom cap: it warns once per resolution and
-    falls back to the width-scaled default.
+    falls back to the width-scaled default.  An empty (or whitespace-only)
+    value is how shells express "unset" (``REPRO_TRACE_MEMO_CAP= cmd``), so
+    it resolves to the default silently rather than warning about a
+    malformed integer.
     """
     env = os.environ.get(TRACE_MEMO_CAP_ENV)
-    if env is None:
+    if env is None or not env.strip():
         return None
     try:
         cap = int(env)

@@ -79,7 +79,15 @@ class SteeringContext(abc.ABC):
     # -- convenience helpers shared by several policies --------------------------
     def least_loaded_cluster(self) -> int:
         """Cluster with the fewest in-flight µops (lowest index wins ties)."""
-        return min(range(self.num_clusters), key=lambda c: (self.cluster_occupancy(c), c))
+        occupancy_of = self.cluster_occupancy
+        best = 0
+        best_occupancy = occupancy_of(0)
+        for cluster in range(1, self.num_clusters):
+            occupancy = occupancy_of(cluster)
+            if occupancy < best_occupancy:
+                best = cluster
+                best_occupancy = occupancy
+        return best
 
 
 class SteeringPolicy(abc.ABC):

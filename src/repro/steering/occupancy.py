@@ -47,39 +47,61 @@ class OccupancyAwareSteering(SteeringPolicy):
         self.idle_fraction = float(idle_fraction)
 
     def pick_cluster(self, uop: DynamicUop, context: SteeringContext) -> Optional[int]:
-        """Steer ``uop`` using source locations, occupancy, and stalling."""
+        """Steer ``uop`` using source locations, occupancy, and stalling.
+
+        This is the hottest policy callback of the simulator (it runs once
+        per dispatched µop), so the selection is written as explicit loops;
+        every choice (argmax over source counts, occupancy tie-breaks with
+        the lowest index winning, the idle-diversion filter) is identical to
+        the straightforward ``max``/``min``-with-key formulation.
+        """
         num_clusters = context.num_clusters
+        clusters = range(num_clusters)
         # Count how many source operands each cluster already holds.
         source_counts = [0] * num_clusters
+        mask_of = context.register_location_mask
         for reg in uop.srcs:
-            mask = context.register_location_mask(reg)
-            if mask == 0:
-                continue
-            for cluster in range(num_clusters):
-                if mask & (1 << cluster):
-                    source_counts[cluster] += 1
-        best_count = max(source_counts) if source_counts else 0
-        if best_count == 0:
-            # No located source: pure workload balance.
-            preferred = context.least_loaded_cluster()
-        else:
-            candidates = [c for c in range(num_clusters) if source_counts[c] == best_count]
-            preferred = min(candidates, key=lambda c: (context.cluster_occupancy(c), c))
+            mask = mask_of(reg)
+            if mask:
+                for cluster in clusters:
+                    if mask >> cluster & 1:
+                        source_counts[cluster] += 1
+        # Preferred cluster: most located sources, ties to the least loaded
+        # (lowest index wins further ties).  A best count of zero degenerates
+        # to pure workload balance over all clusters -- every cluster ties at
+        # zero, which is exactly ``least_loaded_cluster()``.
+        occupancy_of = context.cluster_occupancy
+        best_count = -1
+        preferred = 0
+        preferred_occupancy = 0
+        for cluster in clusters:
+            count = source_counts[cluster]
+            if count > best_count:
+                best_count = count
+                preferred = cluster
+                preferred_occupancy = occupancy_of(cluster)
+            elif count == best_count:
+                occupancy = occupancy_of(cluster)
+                if occupancy < preferred_occupancy:
+                    preferred = cluster
+                    preferred_occupancy = occupancy
         # Occupancy-aware stalling: if the preferred cluster cannot take the
         # µop, only divert it when some other cluster is clearly idle.
-        if context.queue_free(preferred, uop.queue) > 0:
+        queue = uop.queue
+        queue_free = context.queue_free
+        if queue_free(preferred, queue) > 0:
             return preferred
-        preferred_occupancy = context.cluster_occupancy(preferred)
-        idle_candidates = [
-            c
-            for c in range(num_clusters)
-            if c != preferred
-            and context.queue_free(c, uop.queue) > 0
-            and context.cluster_occupancy(c) <= preferred_occupancy * self.idle_fraction
-        ]
-        if idle_candidates:
-            return min(idle_candidates, key=lambda c: (context.cluster_occupancy(c), c))
-        return STALL
+        threshold = preferred_occupancy * self.idle_fraction
+        diverted = -1
+        diverted_occupancy = 0
+        for cluster in clusters:
+            if cluster == preferred or queue_free(cluster, queue) <= 0:
+                continue
+            occupancy = occupancy_of(cluster)
+            if occupancy <= threshold and (diverted < 0 or occupancy < diverted_occupancy):
+                diverted = cluster
+                diverted_occupancy = occupancy
+        return diverted if diverted >= 0 else STALL
 
     def hardware(self) -> SteeringHardware:
         """OP needs every structure of Table 1."""

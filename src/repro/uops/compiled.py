@@ -36,9 +36,14 @@ round-trip property the test suite pins.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, NamedTuple, Optional, Sequence, Tuple, Union
 
 import numpy as np
+
+try:  # pragma: no cover - exercised only where numba is installed (CI matrix)
+    from numba import njit as _njit
+except ImportError:  # pragma: no cover - the default environment
+    _njit = None
 
 from repro.uops.opcodes import (
     IssueQueueKind,
@@ -85,6 +90,68 @@ def _uncsr(offsets: np.ndarray, flat: np.ndarray) -> List[Tuple[int, ...]]:
     bounds = offsets.tolist()
     values = flat.tolist()
     return [tuple(values[bounds[i]:bounds[i + 1]]) for i in range(len(bounds) - 1)]
+
+
+def _scan_last_writers(n, usrc_offsets, usrc_regs, dest_offsets, dest_regs, num_regs):
+    """Map every deduplicated source operand to the definition that produces it.
+
+    A *definition id* is a position in the destination CSR: definition ``d``
+    is the ``dest_regs[d]`` write of µop ``i`` where
+    ``dest_offsets[i] <= d < dest_offsets[i + 1]``.  The scan walks the trace
+    in program order keeping the last definition of every architectural
+    register; sources with no prior in-trace writer (live-ins) are dropped --
+    the rename table marks live-ins available in every cluster, so dispatch
+    planning never waits on them.  Returns the dependence lists in CSR form
+    (``dep_offsets``, ``dep_defs``), preserving the first-occurrence source
+    order ``_try_dispatch`` plans in.
+
+    The body is a plain loop over integer arrays so that, when numba is
+    available, it is JIT-compiled as-is; the pure-Python execution of the same
+    code is the fallback (the result is bit-for-bit the same either way, and
+    it is computed once per trace and cached).
+    """
+    last = np.full(num_regs, -1, dtype=np.int64)
+    dep_offsets = np.zeros(n + 1, dtype=np.int64)
+    dep_defs = np.empty(len(usrc_regs), dtype=np.int64)
+    filled = 0
+    for i in range(n):
+        for j in range(usrc_offsets[i], usrc_offsets[i + 1]):
+            d = last[usrc_regs[j]]
+            if d >= 0:
+                dep_defs[filled] = d
+                filled += 1
+        dep_offsets[i + 1] = filled
+        for d in range(dest_offsets[i], dest_offsets[i + 1]):
+            last[dest_regs[d]] = d
+    return dep_offsets, dep_defs[:filled]
+
+
+if _njit is not None:  # pragma: no cover - only where numba is installed
+    _scan_last_writers = _njit(cache=False)(_scan_last_writers)
+
+
+class DependencePlan(NamedTuple):
+    """Per-trace dependence structure consumed by the vectorized kernel.
+
+    Everything here is a pure function of the stored source/destination
+    columns -- independent of steering annotations and machine configuration
+    -- so one plan is shared by every run (and every policy) of a trace.
+    """
+
+    #: Per-µop tuple of producer definition ids, in deduplicated
+    #: first-occurrence source order (live-in sources excluded).
+    deps: List[Tuple[int, ...]]
+    #: Producing µop index of each definition id.
+    def_uop: List[int]
+    #: Architectural register written by each definition id.
+    def_reg: List[int]
+    #: CSR offsets: µop ``i`` owns definition ids ``[o[i], o[i + 1])``.
+    dest_offsets: List[int]
+
+    @property
+    def num_defs(self) -> int:
+        """Total number of in-trace register definitions."""
+        return len(self.def_uop)
 
 
 def _dedup(row: Tuple[int, ...]) -> Tuple[int, ...]:
@@ -244,6 +311,10 @@ class CompiledTrace:
             "queue_kinds", lambda: [_QUEUE_KINDS[q] for q in self.queue.tolist()]
         )
 
+    def queue_kind_ints(self) -> List[int]:
+        """Per-µop issue-queue kind as plain ints (the vectorized kernel's form)."""
+        return self._cached("queue_ints", self.queue.tolist)
+
     def latency_list(self) -> List[int]:
         """Per-µop functional-unit latency as plain ints."""
         return self._cached("latency", self.latency.tolist)
@@ -311,6 +382,88 @@ class CompiledTrace:
             return counts
 
         return self._cached(key, build)
+
+    def memory_access_plan(self) -> Tuple[List[int], List[bool]]:
+        """``(addresses, is_load)`` of the memory µops, in trace order.
+
+        Cache warm-up replays exactly this access stream; precomputing it
+        keeps the per-run warm-up loop free of full-trace scans.
+        """
+        def build() -> Tuple[List[int], List[bool]]:
+            index = np.flatnonzero(self.is_memory)
+            return (self.address[index].tolist(), self.is_load[index].tolist())
+
+        return self._cached("memory_plan", build)
+
+    def dispatch_meta(self, register_space) -> List[tuple]:
+        """Per-µop fused dispatch metadata for the vectorized kernel.
+
+        One tuple per µop::
+
+            (queue kind, is_memory, is_load, is_branch, mispredicted,
+             int dests, fp dests, dependence row, first def id, past-last def id)
+
+        The dispatch stage touches all of these fields for every µop it
+        dispatches; fusing them into one cached tuple list turns eight
+        scattered column lookups into a single list index plus an unpack.
+        Keyed by register-space geometry (like :meth:`dest_kind_counts`)
+        because the INT/FP destination split depends on it.
+        """
+        key = f"dispatch_meta_{register_space.num_int}_{register_space.num_fp}"
+
+        def build() -> List[tuple]:
+            plan = self.dependency_plan()
+            counts = self.dest_kind_counts(register_space)
+            dest_offsets = plan.dest_offsets
+            return list(
+                zip(
+                    self.queue_kind_ints(),
+                    self.is_memory_list(),
+                    self.is_load_list(),
+                    self.is_branch_list(),
+                    self.mispredicted_list(),
+                    [di for di, _ in counts],
+                    [df for _, df in counts],
+                    plan.deps,
+                    dest_offsets[:-1],
+                    dest_offsets[1:],
+                )
+            )
+
+        return self._cached(key, build)
+
+    def dependency_plan(self) -> DependencePlan:
+        """The :class:`DependencePlan` of the trace (built once, then cached).
+
+        Annotation refreshes (:meth:`annotate_from`) do not invalidate it --
+        the dynamic dependence structure never depends on steering
+        annotations -- so the plan survives across every configuration of a
+        batch, like the other dynamic-column caches.
+        """
+        def build() -> DependencePlan:
+            n = len(self)
+            usrc_offsets, usrc_regs = _csr(self.unique_src_tuples())
+            num_regs = 1 + int(
+                max(
+                    self.src_regs.max(initial=-1),
+                    self.dest_regs.max(initial=-1),
+                )
+            )
+            dep_offsets, dep_defs = _scan_last_writers(
+                n, usrc_offsets, usrc_regs, self.dest_offsets, self.dest_regs,
+                max(num_regs, 1),
+            )
+            deps = _uncsr(dep_offsets, dep_defs)
+            counts = np.diff(self.dest_offsets)
+            def_uop = np.repeat(np.arange(n, dtype=np.int64), counts).tolist()
+            return DependencePlan(
+                deps=deps,
+                def_uop=def_uop,
+                def_reg=self.dest_regs.tolist(),
+                dest_offsets=self.dest_offsets.tolist(),
+            )
+
+        return self._cached("dep_plan", build)
 
     # ------------------------------------------------------------- annotations --
     def annotate_from(self, program) -> "CompiledTrace":

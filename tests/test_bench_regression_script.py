@@ -1,0 +1,114 @@
+"""Tests of scripts/check_bench_regression.py (schema gate + name drift).
+
+A structurally broken bench JSON must fail hard (exit 2) regardless of
+``--strict`` -- a zero/missing ``stats.mean`` in the baseline would make
+every throughput ratio meaningless -- and a renamed benchmark must at least
+warn, because it would otherwise silently stop being regression-checked.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+SCRIPT = Path(__file__).resolve().parents[1] / "scripts" / "check_bench_regression.py"
+spec = importlib.util.spec_from_file_location("check_bench_regression", SCRIPT)
+cbr = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(cbr)
+
+
+def bench_json(path: Path, means: dict) -> Path:
+    path.write_text(
+        json.dumps(
+            {
+                "benchmarks": [
+                    {"name": name, "stats": {"mean": mean}} for name, mean in means.items()
+                ]
+            }
+        )
+    )
+    return path
+
+
+GOOD = {cbr.SPEEDUP_BASELINE: 0.25, cbr.SPEEDUP_SUBJECT: 0.125}
+
+
+class TestSchemaGate:
+    def test_self_comparison_passes(self, tmp_path):
+        snap = bench_json(tmp_path / "snap.json", GOOD)
+        assert cbr.main(["--snapshot", str(snap), "--fresh", str(snap)]) == 0
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            "not json {",
+            json.dumps({}),
+            json.dumps({"benchmarks": []}),
+            json.dumps({"benchmarks": [{"stats": {"mean": 1.0}}]}),
+            json.dumps({"benchmarks": [{"name": "b"}]}),
+            json.dumps({"benchmarks": [{"name": "b", "stats": {"mean": 0.0}}]}),
+            json.dumps({"benchmarks": [{"name": "b", "stats": {"mean": -1.0}}]}),
+            json.dumps({"benchmarks": [{"name": "b", "stats": {"mean": "fast"}}]}),
+        ],
+        ids=[
+            "truncated",
+            "no-benchmarks-key",
+            "empty-list",
+            "missing-name",
+            "missing-mean",
+            "zero-mean",
+            "negative-mean",
+            "non-numeric-mean",
+        ],
+    )
+    def test_broken_baseline_exits_2(self, tmp_path, payload):
+        snap = tmp_path / "snap.json"
+        snap.write_text(payload)
+        fresh = bench_json(tmp_path / "fresh.json", GOOD)
+        assert cbr.main(["--snapshot", str(snap), "--fresh", str(fresh)]) == 2
+
+    def test_broken_fresh_exits_2(self, tmp_path):
+        snap = bench_json(tmp_path / "snap.json", GOOD)
+        fresh = bench_json(tmp_path / "fresh.json", {"b": 1.0})
+        fresh.write_text(json.dumps({"benchmarks": [{"name": "b", "stats": {}}]}))
+        assert cbr.main(["--snapshot", str(snap), "--fresh", str(fresh)]) == 2
+
+    def test_broken_substrate_exits_2(self, tmp_path):
+        snap = bench_json(tmp_path / "snap.json", GOOD)
+        bad = tmp_path / "sub.json"
+        bad.write_text(json.dumps({"benchmarks": [{"name": "s", "stats": {"mean": 0}}]}))
+        assert (
+            cbr.main(
+                [
+                    "--snapshot", str(snap), "--fresh", str(snap),
+                    "--substrate-snapshot", str(bad), "--substrate-fresh", str(bad),
+                ]
+            )
+            == 2
+        )
+
+
+class TestNameDrift:
+    def test_rename_warns(self, tmp_path, capsys):
+        snap = bench_json(tmp_path / "snap.json", dict(GOOD, test_old_name=0.5))
+        fresh = bench_json(tmp_path / "fresh.json", dict(GOOD, test_new_name=0.5))
+        assert cbr.main(["--snapshot", str(snap), "--fresh", str(fresh), "--strict"]) == 1
+        out = capsys.readouterr().out
+        assert "names drifted" in out
+        assert "test_old_name" in out and "test_new_name" in out
+
+    def test_new_benchmark_alone_only_notes(self, tmp_path, capsys):
+        snap = bench_json(tmp_path / "snap.json", GOOD)
+        fresh = bench_json(tmp_path / "fresh.json", dict(GOOD, test_brand_new=0.5))
+        assert cbr.main(["--snapshot", str(snap), "--fresh", str(fresh), "--strict"]) == 0
+        out = capsys.readouterr().out
+        assert "no snapshot entry" in out
+
+    def test_regression_beyond_threshold_warns(self, tmp_path):
+        snap = bench_json(tmp_path / "snap.json", GOOD)
+        slowed = {name: mean * 2.0 for name, mean in GOOD.items()}
+        fresh = bench_json(tmp_path / "fresh.json", slowed)
+        assert cbr.main(["--snapshot", str(snap), "--fresh", str(fresh), "--strict"]) == 1

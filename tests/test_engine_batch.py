@@ -389,6 +389,17 @@ class TestTraceMemoCap:
         with pytest.warns(RuntimeWarning, match=TRACE_MEMO_CAP_ENV):
             assert resolve_trace_memo_cap(None, batch_width=8.0) == 2
 
+    def test_blank_env_var_is_unset_and_silent(self, monkeypatch):
+        """``REPRO_TRACE_MEMO_CAP= cmd`` is how shells express "unset": an
+        empty or whitespace-only value resolves to the width-scaled default
+        without any malformed-value warning."""
+        for blank in ("", "   ", "\t"):
+            monkeypatch.setenv(TRACE_MEMO_CAP_ENV, blank)
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                assert resolve_trace_memo_cap() == DEFAULT_TRACE_MEMO_CAP
+                assert resolve_trace_memo_cap(None, batch_width=8.0) == 2
+
     def test_negative_env_var_warns_and_falls_back(self, monkeypatch):
         """A negative or zero cap is nonsense, not 'clamp to 1': warn and use
         the width-scaled default instead."""

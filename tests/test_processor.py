@@ -248,3 +248,29 @@ class TestCrossPolicyProperties:
         for policy in (OccupancyAwareSteering(), LoadBalanceSteering()):
             metrics = simulate_trace(trace, policy, fast_config())
             assert sum(metrics.cluster_dispatch) == len(trace)
+
+
+class TestEventHeapHygiene:
+    def test_heap_never_holds_drained_keys(self, small_trace):
+        """Regression: ``_writeback`` must drop drained cycle keys eagerly.
+
+        The old lazy-deletion scheme left stale keys on ``_event_heap`` until
+        the next ``_next_event_cycle`` probe popped them, charging O(log n)
+        per stale key to every idle-skip probe.  The invariant now is that
+        after every step the heap holds exactly the keys of the live
+        ``_events`` buckets.
+        """
+
+        class HeapAuditingProcessor(ClusteredProcessor):
+            def _step(self):
+                super()._step()
+                assert sorted(self._event_heap) == sorted(self._events)
+
+        _, trace = small_trace
+        processor = HeapAuditingProcessor(
+            fast_config(), OccupancyAwareSteering(), kernel="interpreter"
+        )
+        metrics = processor.run(trace)
+        assert metrics.committed_uops == len(trace)
+        # Fully drained at the end: no events, and no keys left behind.
+        assert not processor._events and not processor._event_heap
