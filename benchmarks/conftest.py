@@ -46,24 +46,29 @@ DEFAULT_SUBSET = [
 ]
 
 
-def bench_scale() -> float:
+def resolve_bench_scale() -> float:
     """Trace-length multiplier from ``REPRO_BENCH_SCALE``."""
     return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
 
 
-def bench_phases() -> int:
+def resolve_bench_phases() -> int:
     """Phases per benchmark from ``REPRO_BENCH_PHASES``."""
     return int(os.environ.get("REPRO_BENCH_PHASES", "1"))
 
 
+def resolve_bench_full() -> bool:
+    """Whether ``REPRO_BENCH_FULL=1`` asks for the full trace list."""
+    return os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+
 def bench_trace_length() -> int:
     """Dynamic µops per simulation point."""
-    return max(500, int(2500 * bench_scale()))
+    return max(500, int(2500 * resolve_bench_scale()))
 
 
 def benchmark_names() -> list[str]:
     """The trace list to evaluate (subset by default, full with REPRO_BENCH_FULL=1)."""
-    if os.environ.get("REPRO_BENCH_FULL", "0") == "1":
+    if resolve_bench_full():
         return all_trace_names("all")
     return list(DEFAULT_SUBSET)
 
@@ -75,7 +80,7 @@ def two_cluster_settings() -> ExperimentSettings:
         num_clusters=2,
         num_virtual_clusters=2,
         trace_length=bench_trace_length(),
-        max_phases=bench_phases(),
+        max_phases=resolve_bench_phases(),
     )
 
 
@@ -86,7 +91,7 @@ def four_cluster_settings() -> ExperimentSettings:
         num_clusters=4,
         num_virtual_clusters=4,
         trace_length=bench_trace_length(),
-        max_phases=bench_phases(),
+        max_phases=resolve_bench_phases(),
     )
 
 

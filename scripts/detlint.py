@@ -1,0 +1,19 @@
+#!/usr/bin/env python
+"""Run the determinism lint from a checkout without installing the package.
+
+Equivalent to ``PYTHONPATH=src python -m repro.analysis``; see
+``python scripts/detlint.py --list-rules`` for the rule catalogue and
+DESIGN.md §7 for the hazard classes behind it.
+"""
+
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.analysis.detlint import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -37,6 +37,7 @@ from repro.cluster import (
     simulate_trace,
     two_cluster_config,
 )
+from repro.engine import ParallelRunner, ResultCache, SimulationJob, TraceArtifactStore
 from repro.experiments import (
     ExperimentRunner,
     ExperimentSettings,
@@ -45,13 +46,18 @@ from repro.experiments import (
     run_figure7,
     run_table1,
 )
-from repro.engine import ParallelRunner, ResultCache, SimulationJob, TraceArtifactStore
 from repro.experiments.configs import (
     SteeringConfiguration,
     TABLE3_CONFIGURATIONS,
     make_configuration,
     vc_variant,
 )
+from repro.partition import (
+    OperationBasedPartitioner,
+    RhopPartitioner,
+    VirtualClusterPartitioner,
+)
+from repro.program import Program, build_ddg, expand_trace, form_regions
 from repro.scenarios import (
     MachineSpec,
     ScenarioSpec,
@@ -62,12 +68,6 @@ from repro.scenarios import (
     register_policy,
     run_scenario,
 )
-from repro.partition import (
-    OperationBasedPartitioner,
-    RhopPartitioner,
-    VirtualClusterPartitioner,
-)
-from repro.program import Program, build_ddg, expand_trace, form_regions
 from repro.steering import (
     OccupancyAwareSteering,
     OneClusterSteering,

@@ -10,11 +10,15 @@
   resource contention in the intended cluster").
 * :mod:`repro.analysis.stats` -- descriptive statistics of DDGs and programs
   used by reports, tests and the workload generator's self-checks.
+* :mod:`repro.analysis.detlint` -- the determinism lint: repo-wide static
+  checks for the hazards that break the bit-identity contract (DESIGN.md
+  §7).  Run it as ``python -m repro.analysis`` or ``repro analyze``; it is
+  not imported eagerly here so the numeric analyses stay side-effect free.
 """
 
+from repro.analysis.completion_time import CompletionTimeEstimator
 from repro.analysis.criticality import CriticalityInfo, compute_criticality
 from repro.analysis.slack import SlackInfo, compute_slack
-from repro.analysis.completion_time import CompletionTimeEstimator
 from repro.analysis.stats import DDGStats, ddg_statistics, program_statistics
 
 __all__ = [

@@ -1,0 +1,8 @@
+"""``python -m repro.analysis``: run the determinism lint."""
+
+import sys
+
+from repro.analysis.detlint import main
+
+if __name__ == "__main__":
+    sys.exit(main())

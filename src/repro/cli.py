@@ -8,6 +8,7 @@ Exposes the experiment drivers without writing any Python::
     python -m repro list-configs
     python -m repro quickstart --benchmark 178.galgel --trace-length 4000
     python -m repro list-benchmarks --suite fp
+    python -m repro analyze --strict src
 
 Every experiment is a *scenario*: a declarative, JSON-serializable
 description of machine, workloads, configurations and sweep axes (see
@@ -85,10 +86,13 @@ engine (:mod:`repro.engine`) and accepts three knobs:
 from __future__ import annotations
 
 import argparse
+import io
 import os
 import sys
 import warnings
 from typing import List, Optional, Sequence
+
+from repro.analysis.detlint import run as run_detlint
 
 from repro.engine import AUTO_TRACE_ROOT, ParallelRunner, ResultCache
 from repro.experiments.configs import TABLE3_CONFIGURATIONS
@@ -115,7 +119,7 @@ ABLATION_SCENARIOS = {
 }
 
 
-def default_cache_dir() -> str:
+def resolve_cache_dir() -> str:
     """The cache directory used when ``--cache-dir`` is not passed.
 
     Read from ``$REPRO_CACHE_DIR`` at *invocation* time (not import time),
@@ -128,7 +132,7 @@ def _cache_dir(args: argparse.Namespace) -> Optional[str]:
     """The cache directory selected by ``--cache-dir`` / ``--no-cache``."""
     if args.no_cache:
         return None
-    return args.cache_dir if args.cache_dir is not None else default_cache_dir()
+    return args.cache_dir if args.cache_dir is not None else resolve_cache_dir()
 
 
 def _trace_root(args: argparse.Namespace):
@@ -457,6 +461,29 @@ def cmd_figure(args: argparse.Namespace) -> str:
     return _run_spec(builtin_scenario(scenario), args)
 
 
+def cmd_analyze(args: argparse.Namespace) -> str:
+    """``analyze``: the determinism lint (:mod:`repro.analysis.detlint`).
+
+    Exit codes follow the lint (0 clean, 1 fresh findings, 2 scan errors);
+    the report ends with the usual ``[detlint] ...`` footer.
+    """
+    argv: List[str] = list(args.paths)
+    if args.strict:
+        argv.append("--strict")
+    if args.baseline:
+        argv.extend(["--baseline", args.baseline])
+    if args.no_baseline:
+        argv.append("--no-baseline")
+    if args.write_baseline:
+        argv.append("--write-baseline")
+    if args.list_rules:
+        argv.append("--list-rules")
+    argv.extend(["--format", args.format])
+    buffer = io.StringIO()
+    args.exit_code = run_detlint(argv, out=buffer)
+    return buffer.getvalue().rstrip("\n")
+
+
 def cmd_ablations(args: argparse.Namespace) -> str:
     """``ablations``: deprecated shim over the built-in sweep scenarios."""
     scenario = ABLATION_SCENARIOS[args.sweep]
@@ -516,6 +543,23 @@ def build_parser() -> argparse.ArgumentParser:
         _add_common_options(sub)
         sub.set_defaults(handler=cmd_figure)
 
+    analyze_parser = subparsers.add_parser(
+        "analyze",
+        help="determinism lint: static checks guarding the bit-identity contract",
+    )
+    analyze_parser.add_argument(
+        "paths", nargs="*", default=["src"], help="files or trees to scan (default: src)"
+    )
+    analyze_parser.add_argument(
+        "--strict", action="store_true", help="ignore the baseline (CI mode)"
+    )
+    analyze_parser.add_argument("--baseline", metavar="FILE", default=None)
+    analyze_parser.add_argument("--no-baseline", action="store_true")
+    analyze_parser.add_argument("--write-baseline", action="store_true")
+    analyze_parser.add_argument("--format", choices=("text", "json"), default="text")
+    analyze_parser.add_argument("--list-rules", action="store_true")
+    analyze_parser.set_defaults(handler=cmd_analyze)
+
     ablations_parser = subparsers.add_parser(
         "ablations",
         help="[deprecated: run sweep-*] sensitivity sweeps (virtual clusters, link latency, ...)",
@@ -536,7 +580,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     print(args.handler(args))
-    return 0
+    return getattr(args, "exit_code", 0)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in examples

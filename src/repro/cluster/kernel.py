@@ -535,8 +535,12 @@ class VectorizedKernel(SteeringContext):
                                     alloc_stalls[blocked_source] += 1
                                     break
                         # ---- every resource available: perform the dispatch ----
-                        if next_slot + num_clusters > cap:
-                            grow = cap
+                        # One dispatch consumes a slot for the µop plus one per
+                        # copy µop (a µop can need several copies, possibly
+                        # from the same source cluster).
+                        need_slots = 1 if new_copies is None else 1 + len(new_copies)
+                        if next_slot + need_slots > cap:
+                            grow = max(cap, need_slots)
                             rec_uop += [-1] * grow
                             rec_cluster += [0] * grow
                             rec_qslot += [0] * grow

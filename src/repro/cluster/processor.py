@@ -50,6 +50,7 @@ from repro.cluster.metrics import SimulationMetrics
 from repro.cluster.regfile import RegisterFiles
 from repro.cluster.rename import RegisterLocationTable, Value
 from repro.cluster.rob import ReorderBuffer
+from repro.sanitize import resolve_sanitize
 from repro.steering.base import SteeringContext, SteeringPolicy
 from repro.uops.compiled import CompiledTrace, CompiledUopView, compile_trace
 from repro.uops.opcodes import IssueQueueKind
@@ -233,6 +234,13 @@ class ClusteredProcessor(SteeringContext):
         runs.  Returns the bound :class:`CompiledTrace`.
         """
         compiled = compile_trace(trace)
+        if resolve_sanitize():
+            # Write sanitizer (`$REPRO_SANITIZE=1`): the bound trace may be
+            # shared with sibling batches through the memo/artifact/shm
+            # layers, so freeze its stored columns -- any in-place mutation
+            # then raises at the offending line instead of corrupting a
+            # sibling's run (see repro/sanitize.py and DESIGN.md §7).
+            compiled.freeze()
         self._bind_trace(compiled)
         self._bound = compiled
         return compiled

@@ -108,7 +108,7 @@ _ZERO_TRACE_STATS = {"hits": 0, "misses": 0, "stores": 0}
 _ZERO_SHM_STATS = {"segments": 0, "bytes": 0, "published": 0, "reused": 0, "unlinked": 0}
 
 
-def _env_trace_memo_cap() -> Optional[int]:
+def _resolve_env_trace_memo_cap() -> Optional[int]:
     """``$REPRO_TRACE_MEMO_CAP`` as a validated capacity, or ``None``.
 
     A malformed or non-positive value cannot crash (or silently misconfigure)
@@ -159,7 +159,7 @@ def resolve_trace_memo_cap(
     if explicit is not None:
         cap = int(explicit)
     else:
-        cap = _env_trace_memo_cap()
+        cap = _resolve_env_trace_memo_cap()
         if cap is None:
             if batch_width is not None and batch_width > 1:
                 cap = max(2, math.ceil(DEFAULT_TRACE_MEMO_CAP / batch_width))

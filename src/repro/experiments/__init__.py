@@ -15,22 +15,6 @@
 * :mod:`repro.experiments.report` -- plain-text table formatting.
 """
 
-from repro.experiments.configs import (
-    SteeringConfiguration,
-    TABLE3_CONFIGURATIONS,
-    make_configuration,
-    table3_configurations,
-    vc_variant,
-)
-from repro.experiments.runner import (
-    BenchmarkResult,
-    ExperimentRunner,
-    ExperimentSettings,
-)
-from repro.experiments.figure5 import Figure5Result, run_figure5
-from repro.experiments.figure6 import Figure6Point, Figure6Result, run_figure6
-from repro.experiments.figure7 import Figure7Result, run_figure7
-from repro.experiments.table1 import run_table1
 from repro.experiments.ablations import (
     AblationResult,
     sweep_issue_queue_size,
@@ -38,7 +22,23 @@ from repro.experiments.ablations import (
     sweep_region_size,
     sweep_virtual_clusters,
 )
+from repro.experiments.configs import (
+    SteeringConfiguration,
+    TABLE3_CONFIGURATIONS,
+    make_configuration,
+    table3_configurations,
+    vc_variant,
+)
+from repro.experiments.figure5 import Figure5Result, run_figure5
+from repro.experiments.figure6 import Figure6Point, Figure6Result, run_figure6
+from repro.experiments.figure7 import Figure7Result, run_figure7
 from repro.experiments.report import format_table
+from repro.experiments.runner import (
+    BenchmarkResult,
+    ExperimentRunner,
+    ExperimentSettings,
+)
+from repro.experiments.table1 import run_table1
 
 __all__ = [
     "SteeringConfiguration",

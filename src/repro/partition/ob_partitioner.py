@@ -23,9 +23,9 @@ from __future__ import annotations
 from typing import List
 
 from repro.analysis.completion_time import CompletionTimeEstimator
-from repro.scenarios.registry import register_partitioner
 from repro.partition.base import RegionPartitioner
 from repro.program.ddg import DataDependenceGraph
+from repro.scenarios.registry import register_partitioner
 
 
 class OperationBasedPartitioner(RegionPartitioner):

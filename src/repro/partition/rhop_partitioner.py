@@ -25,10 +25,10 @@ from __future__ import annotations
 from typing import List
 
 from repro.analysis.slack import compute_slack
-from repro.scenarios.registry import register_partitioner
 from repro.partition.base import RegionPartitioner
 from repro.partition.multilevel import MultilevelPartitioner, PartitionObjective
 from repro.program.ddg import DataDependenceGraph
+from repro.scenarios.registry import register_partitioner
 
 
 class RhopPartitioner(RegionPartitioner):

@@ -27,10 +27,10 @@ from typing import List, Sequence
 
 from repro.analysis.completion_time import CompletionTimeEstimator
 from repro.analysis.criticality import compute_criticality
-from repro.scenarios.registry import register_partitioner
 from repro.partition.base import PartitionReport, RegionPartitioner
 from repro.partition.chains import identify_chains
 from repro.program.ddg import DataDependenceGraph
+from repro.scenarios.registry import register_partitioner
 
 
 class VirtualClusterPartitioner(RegionPartitioner):

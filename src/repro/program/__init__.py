@@ -21,8 +21,8 @@ baselines) operates on a conventional compiler IR:
 
 from repro.program.basic_block import BasicBlock
 from repro.program.cfg import ControlFlowGraph, CFGEdge
-from repro.program.program import Program
 from repro.program.ddg import DataDependenceGraph, build_ddg
+from repro.program.program import Program
 from repro.program.regions import Region, form_regions
 from repro.program.trace import TraceGenerator, expand_trace
 

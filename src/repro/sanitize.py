@@ -1,0 +1,52 @@
+"""The shared-memory write sanitizer: freeze-on-bind for compiled traces.
+
+The engine shares one :class:`~repro.uops.compiled.CompiledTrace` across
+many consumers -- the per-process trace memo, the content-addressed artifact
+store, shared-memory segments, and every configuration of a batch bound to
+the same processor.  The bit-identity contract therefore requires that
+nobody ever mutates a trace's stored columns in place: an in-place write
+would silently corrupt *sibling* runs that hold the same arrays (the static
+side of this contract is detlint rule DET109; see DESIGN.md §7).
+
+``$REPRO_SANITIZE=1`` turns the convention into an assertion:
+:meth:`ClusteredProcessor.bind` freezes the stored columns of every trace it
+binds (``writeable=False`` on the numpy arrays), so any in-place mutation --
+from the simulator, a steering policy, or test code -- raises ``ValueError:
+assignment destination is read-only`` at the offending line instead of
+corrupting a sibling batch.  Shared-memory attachments are *always* frozen,
+sanitizer or not (:meth:`SharedTraceSegment.load` marks its views read-only
+unconditionally); the sanitizer extends the same protection to the memo /
+artifact / freshly-generated paths that back every other substrate.
+
+The flag is read per resolution (not at import), so tests and the CLI can
+toggle it; blank values mean "unset", mirroring the other ``$REPRO_*``
+knobs.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+__all__ = ["SANITIZE_ENV", "resolve_sanitize"]
+
+#: Environment variable enabling the write sanitizer.
+SANITIZE_ENV = "REPRO_SANITIZE"
+
+#: Values (lower-cased, stripped) read as "disabled"; anything else enables.
+_FALSE_VALUES = frozenset({"", "0", "false", "off", "no"})
+
+
+def resolve_sanitize(explicit: Optional[bool] = None) -> bool:
+    """Whether the write sanitizer is enabled.
+
+    An explicit argument wins; otherwise ``$REPRO_SANITIZE`` decides, with
+    unset/blank/``0``/``false``/``off``/``no`` meaning disabled and any
+    other value (canonically ``1``) meaning enabled.
+    """
+    if explicit is not None:
+        return bool(explicit)
+    env = os.environ.get(SANITIZE_ENV)
+    if env is None:
+        return False
+    return env.strip().lower() not in _FALSE_VALUES

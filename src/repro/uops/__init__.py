@@ -25,7 +25,7 @@ from repro.uops.compiled import (
     CompiledUopView,
     compile_trace,
 )
-
+from repro.uops.encoding import SteeringAnnotation, encode_annotation, decode_annotation
 from repro.uops.opcodes import (
     UopClass,
     latency_of,
@@ -40,7 +40,6 @@ from repro.uops.opcodes import (
 )
 from repro.uops.registers import RegisterSpace, RegisterKind
 from repro.uops.uop import StaticInstruction, DynamicUop
-from repro.uops.encoding import SteeringAnnotation, encode_annotation, decode_annotation
 
 __all__ = [
     "UopClass",

@@ -465,6 +465,35 @@ class CompiledTrace:
 
         return self._cached("dep_plan", build)
 
+    # ---------------------------------------------------------------- freezing --
+    @property
+    def frozen(self) -> bool:
+        """Whether the stored columns are marked read-only (write sanitizer).
+
+        ``seq`` is the marker: it is never replaced after construction (only
+        the annotation columns are, and :meth:`annotate_from` re-freezes
+        those on frozen traces), so its flag reflects the whole trace.
+        """
+        return not self.seq.flags.writeable
+
+    def freeze(self) -> "CompiledTrace":
+        """Mark every stored column read-only; in-place writes then raise.
+
+        This is the write sanitizer's teeth (``$REPRO_SANITIZE=1``; see
+        :mod:`repro.sanitize`): traces are shared across the memo, the
+        artifact store, shm segments and every configuration of a batch, so
+        a frozen trace turns any in-place mutation of shared state into a
+        ``ValueError`` at the offending line.  Views attached over
+        shared-memory segments arrive frozen already; freezing is idempotent
+        and irreversible for a given array (callers needing a mutable trace
+        rebuild one from copies).  Returns ``self`` for chaining.
+        """
+        for name in self.STORED_FIELDS:
+            array = getattr(self, name)
+            if array.flags.writeable:
+                array.flags.writeable = False
+        return self
+
     # ------------------------------------------------------------- annotations --
     def annotate_from(self, program) -> "CompiledTrace":
         """Refresh the steering-annotation columns from ``program``'s statics.
@@ -487,9 +516,16 @@ class CompiledTrace:
                 static_cluster[sid] = (
                     NO_ANNOTATION if inst.static_cluster is None else int(inst.static_cluster)
                 )
+        refreeze = self.frozen
         self.vc_id = vc[self.sid]
         self.chain_leader = leader[self.sid]
         self.static_cluster = static_cluster[self.sid]
+        if refreeze:
+            # Frozen traces stay frozen: the scatter *replaces* the
+            # annotation arrays (never writes in place), so the fresh arrays
+            # inherit the read-only mark the sanitizer relies on.
+            for key in ("vc_id", "chain_leader", "static_cluster"):
+                getattr(self, key).flags.writeable = False
         for key in ("vc_id", "chain_leader", "static_cluster"):
             self._cache.pop(key, None)
         return self

@@ -8,7 +8,7 @@ import sys
 
 import pytest
 
-from repro.cli import _cache_dir, build_parser, default_cache_dir, main
+from repro.cli import _cache_dir, build_parser, resolve_cache_dir, main
 from repro.workloads.spec2000 import all_trace_names
 
 
@@ -220,7 +220,7 @@ class TestCacheDirResolution:
 
     def test_env_var_set_after_import_is_honoured(self, monkeypatch):
         monkeypatch.setenv("REPRO_CACHE_DIR", "/tmp/late-bound-cache")
-        assert default_cache_dir() == "/tmp/late-bound-cache"
+        assert resolve_cache_dir() == "/tmp/late-bound-cache"
         args = build_parser().parse_args(["quickstart"])
         assert _cache_dir(args) == "/tmp/late-bound-cache"
 
@@ -233,7 +233,7 @@ class TestCacheDirResolution:
         monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
         args = build_parser().parse_args(["quickstart", "--no-cache"])
         assert _cache_dir(args) is None
-        assert default_cache_dir() == ".repro_cache"
+        assert resolve_cache_dir() == ".repro_cache"
 
 
 class TestScenarioCommands:

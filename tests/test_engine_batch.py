@@ -328,7 +328,7 @@ class TestBatchDegradation:
 
         # Corrupt the stored artifact; the next batch must fall back to
         # regeneration (a miss + a rewrite), not fail or return garbage.
-        artifacts = list(root.rglob("*.npz"))
+        artifacts = sorted(root.rglob("*.npz"))
         assert len(artifacts) == 1
         artifacts[0].write_bytes(b"not an npz artifact")
         _TRACE_MEMO.clear()

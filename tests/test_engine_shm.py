@@ -95,6 +95,20 @@ def make_job(profile, configuration, phase=0, trace_length=500, **overrides):
     return SimulationJob(**defaults)
 
 
+def _worker_write_column(name: str) -> str:  # pragma: no cover - runs in a worker
+    """Attach ``name`` and try an in-place column write; report what happened."""
+    attached = SharedTraceSegment.attach(name)
+    try:
+        _, rebuilt = attached.load()
+        try:
+            rebuilt.opclass[0] = 0  # detlint: ok DET109 (this write must raise)
+        except ValueError:
+            return "ValueError"
+        return "write went through"
+    finally:
+        attached.close()
+
+
 def _segment_is_gone(name: str) -> bool:
     try:
         probe = SharedTraceSegment.attach(name)
@@ -192,6 +206,23 @@ class TestSegmentRoundTrip:
     def test_attach_unknown_name_raises(self):
         with pytest.raises(FileNotFoundError):
             SharedTraceSegment.attach("repro-does-not-exist")
+
+    def test_worker_in_place_write_raises(self, small_profile):
+        """A worker that writes an attached column in place must raise.
+
+        Attach views are read-only unconditionally (not only under
+        ``REPRO_SANITIZE``): a silent write would corrupt the trace for every
+        other attached worker and break bit-identity with the pickle path.
+        """
+        program, compiled = WorkloadGenerator(small_profile).generate_compiled_trace(300)
+        segment = SharedTraceSegment.create("ro", program, compiled)
+        try:
+            with WorkerPool(1) as pool:
+                outcome = pool.submit(_worker_write_column, segment.name).result()
+            assert outcome == "ValueError", f"worker write outcome: {outcome}"
+        finally:
+            segment.close()
+            segment.unlink()
 
     def test_attached_segment_refuses_unlink(self, small_profile):
         program, compiled = WorkloadGenerator(small_profile).generate_compiled_trace(300)

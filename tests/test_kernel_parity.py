@@ -30,6 +30,8 @@ from repro.steering.occupancy import OccupancyAwareSteering
 from repro.steering.one_cluster import OneClusterSteering
 from repro.steering.virtual_cluster import VirtualClusterSteering
 from repro.uops.compiled import compile_trace
+from repro.uops.opcodes import UopClass
+from repro.uops.uop import DynamicUop, StaticInstruction
 from repro.workloads.generator import WorkloadGenerator
 from repro.workloads.spec2000 import profile_for
 
@@ -82,7 +84,7 @@ def golden_by_kernel():
     """
     import os
 
-    saved = os.environ.get(KERNEL_ENV)
+    saved = os.environ.get(KERNEL_ENV)  # detlint: ok DET103 (save/restore around the pin)
     snapshots = {}
     try:
         for kernel in KERNELS:
@@ -174,3 +176,41 @@ class TestSimulateTraceKernelKnob:
         a = simulate_trace(trace, OccupancyAwareSteering(), kernel="interpreter")
         b = simulate_trace(trace, OccupancyAwareSteering(), kernel="vectorized")
         assert a.as_dict() == b.as_dict()
+
+
+class TestCopySlotGrowth:
+    """Regression for the record-slot growth check in the vectorized kernel.
+
+    One dispatch consumes a slot for the µop plus one per fresh copy µop, and
+    a µop can need several copies at once (even from the same source cluster).
+    The growth check used to reserve only ``num_clusters`` slots of headroom,
+    so on a 2-cluster machine a µop-plus-two-copies dispatch landing exactly
+    two slots below capacity overflowed the record arrays (IndexError).
+    """
+
+    @staticmethod
+    def _copy_heavy_trace(length):
+        """Every fourth µop reads two defs at odd distances (1 and 3), so
+        under round-robin steering on two clusters both sources live on the
+        remote cluster and each def has a single consumer -- forcing
+        two fresh copy µops in one dispatch."""
+        reg = lambda i: 8 + (i % 97)  # noqa: E731
+        trace = []
+        for i in range(length):
+            srcs = (reg(i - 1), reg(i - 3)) if i % 4 == 3 else (0,)
+            static = StaticInstruction(i, UopClass.INT_ALU, dests=(reg(i),), srcs=srcs)
+            trace.append(DynamicUop(i, static))
+        return compile_trace(trace)
+
+    # Lengths chosen so a two-copy dispatch lands on the capacity boundary
+    # (these crashed before the fix; neighbours keep coverage robust).
+    @pytest.mark.parametrize("length", [43, 49, 55, 61, 62, 63])
+    def test_multi_copy_dispatch_at_capacity_boundary(self, length):
+        compiled = self._copy_heavy_trace(length)
+        results = {}
+        for kernel in ("interpreter", "vectorized"):
+            processor = ClusteredProcessor(
+                ClusterConfig(num_clusters=2), RoundRobinSteering(), kernel=kernel
+            )
+            results[kernel] = processor.run(compiled).to_dict()
+        assert results["vectorized"] == results["interpreter"]

@@ -145,7 +145,7 @@ class TestEngineIntegration:
                 make_job(small_profile, configuration=TABLE3_CONFIGURATIONS[name]),
                 trace_root=str(root),
             )
-        artifacts = list(root.glob("*/*.npz"))
+        artifacts = sorted(root.glob("*/*.npz"))
         assert len(artifacts) == 1  # same phase, same trace inputs -> one file
 
     def test_auto_trace_root_follows_cache(self, tmp_path):
