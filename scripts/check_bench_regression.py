@@ -25,7 +25,16 @@ any falls below its floor:
   single-core CI noise, the committed snapshot itself records >=1.0x), and
 * **kernel speedup** (substrate suite) -- the vectorized two-tier kernel
   versus the interpreter kernel on the same compiled trace, under the OP
-  and VC policies (floor 1.5x; the committed snapshot records >=2x).
+  and VC policies (floor 1.5x; the committed snapshot records >=2x),
+* **fused steering** (substrate suite) -- the compiled steering tier (the
+  fused dispatch fast path) versus the per-µop callback path on the same
+  kernel, under OP and VC (floor 1.05x; the committed snapshot records
+  ~1.1-1.2x -- the fast path removes Python frames from dispatch only, so
+  the honest headline is modest), and
+* **jit speedup** (substrate suite) -- the numba-jitted inner loop versus
+  the callback path (floor 2.0x).  The ``*_jit`` benchmarks only run where
+  numba is installed; without it the headline is skipped with a note, never
+  silently passed off as measured.
 
 Name drift between a snapshot and the fresh run is reported both ways: a
 snapshot benchmark missing from the fresh run always warns, and when names
@@ -71,6 +80,23 @@ KERNEL_OP_SUBJECT = "test_simulator_throughput_op"
 KERNEL_VC_BASELINE = "test_simulator_throughput_vc_interpreter"
 KERNEL_VC_SUBJECT = "test_simulator_throughput_vc"
 MIN_KERNEL_SPEEDUP = 1.5
+
+#: Substrate pairs whose ratios are the compiled-steering-tier headlines.
+#: The default benchmarks run the fused fast path; the ``_callback`` twins
+#: pin ``fused_steering=False`` on the same kernel and trace.
+FUSED_OP_BASELINE = "test_simulator_throughput_op_callback"
+FUSED_OP_SUBJECT = "test_simulator_throughput_op"
+FUSED_VC_BASELINE = "test_simulator_throughput_vc_callback"
+FUSED_VC_SUBJECT = "test_simulator_throughput_vc"
+MIN_FUSED_SPEEDUP = 1.05
+
+#: The jitted-inner-loop headline; the subject only exists on numba-enabled
+#: runners (``check_headline`` skips with a note when it is absent).
+JIT_OP_BASELINE = "test_simulator_throughput_op_callback"
+JIT_OP_SUBJECT = "test_simulator_throughput_op_jit"
+JIT_VC_BASELINE = "test_simulator_throughput_vc_callback"
+JIT_VC_SUBJECT = "test_simulator_throughput_vc_jit"
+MIN_JIT_SPEEDUP = 2.0
 
 #: Exit code for a structurally broken bench JSON (fails CI unconditionally).
 SCHEMA_ERROR_EXIT = 2
@@ -270,6 +296,34 @@ def main(argv=None) -> int:
             KERNEL_VC_SUBJECT,
             MIN_KERNEL_SPEEDUP,
             "vectorized-kernel-vs-interpreter (VC)",
+        )
+        warnings += check_headline(
+            substrate_fresh,
+            FUSED_OP_BASELINE,
+            FUSED_OP_SUBJECT,
+            MIN_FUSED_SPEEDUP,
+            "fused-steering-vs-callback (OP)",
+        )
+        warnings += check_headline(
+            substrate_fresh,
+            FUSED_VC_BASELINE,
+            FUSED_VC_SUBJECT,
+            MIN_FUSED_SPEEDUP,
+            "fused-steering-vs-callback (VC)",
+        )
+        warnings += check_headline(
+            substrate_fresh,
+            JIT_OP_BASELINE,
+            JIT_OP_SUBJECT,
+            MIN_JIT_SPEEDUP,
+            "jit-loop-vs-callback (OP)",
+        )
+        warnings += check_headline(
+            substrate_fresh,
+            JIT_VC_BASELINE,
+            JIT_VC_SUBJECT,
+            MIN_JIT_SPEEDUP,
+            "jit-loop-vs-callback (VC)",
         )
 
     if warnings:

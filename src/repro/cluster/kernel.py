@@ -20,6 +20,16 @@ object graph.  The design is two-tier (see DESIGN.md):
   numba-jitted) and idle stretches are skipped in bulk exactly as the
   interpreter does.
 
+A third tier -- the **compiled steering tier** -- removes the per-µop Python
+frames entirely for policies that declare their decision function: a policy
+exposing :meth:`~repro.steering.base.SteeringPolicy.compiled_spec` has its
+decision (one of the closed :data:`~repro.steering.base.SPEC_FORMS`) inlined
+into the dispatch loop of the array tier (the *fused fast path*), and the
+``vectorized-jit`` kernel additionally runs the whole inner loop through
+:mod:`repro.cluster.jitloop` -- numba-jitted when numba is installed, the
+same code executed as plain Python otherwise.  Un-lowered policies fall
+through to the per-µop callback path unchanged, per dispatch, mid-batch.
+
 The kernel is bit-identical to the interpreter: the golden-metrics suite and
 the kernel-parity suite run both on the same traces and compare metrics
 field-for-field.  The interpreter remains the golden reference
@@ -30,10 +40,17 @@ from __future__ import annotations
 
 import heapq
 import os
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
-from repro.steering.base import SteeringContext
-from repro.uops.compiled import CompiledTrace
+import numpy as np
+
+from repro.steering.base import (
+    SPEC_FORMS,
+    CompiledSteeringSpec,
+    SteeringContext,
+    SteeringPolicy,
+)
+from repro.uops.compiled import NO_ANNOTATION, CompiledTrace
 
 try:  # pragma: no cover - exercised only where numba is installed (CI matrix)
     import numba  # noqa: F401
@@ -46,32 +63,107 @@ except ImportError:  # pragma: no cover - the default environment
 KERNEL_ENV = "REPRO_KERNEL"
 
 #: Recognised kernel implementations.
-KERNELS = ("interpreter", "vectorized")
+KERNELS = ("interpreter", "vectorized", "vectorized-jit")
 
 #: Kernel used when neither the constructor nor the environment picks one.
 DEFAULT_KERNEL = "vectorized"
+
+#: Integer codes of the lowered decision forms (0 = no spec, callback path).
+#: The codes follow :data:`~repro.steering.base.SPEC_FORMS` order.
+_FORM_CALLBACK = 0
+_FORM_CODES = {name: code for code, name in enumerate(SPEC_FORMS, start=1)}
+_FORM_CONSTANT = _FORM_CODES["constant"]
+_FORM_TABLE = _FORM_CODES["static-table"]
+_FORM_MODULO = _FORM_CODES["modulo"]
+_FORM_LEAST = _FORM_CODES["least-loaded"]
+_FORM_DEP = _FORM_CODES["dependence-count"]
+_FORM_OCC = _FORM_CODES["occupancy-stall"]
+_FORM_MAP = _FORM_CODES["mapping-table"]
 
 
 def resolve_kernel(kernel: Optional[str] = None) -> str:
     """Resolve a kernel choice to one of :data:`KERNELS`.
 
-    An explicit ``kernel`` of ``"interpreter"``/``"vectorized"`` wins (so
-    parity tests can pin both sides regardless of the environment);
-    ``None``/``"auto"`` defers to ``$REPRO_KERNEL`` when set and non-blank,
-    and falls back to :data:`DEFAULT_KERNEL` otherwise.
+    An explicit ``kernel`` argument wins (so parity tests can pin both sides
+    regardless of the environment); ``None``/``"auto"`` defers to
+    ``$REPRO_KERNEL`` when set and non-blank, and falls back to
+    :data:`DEFAULT_KERNEL` otherwise.  Unknown values -- explicit or from the
+    environment -- are rejected with an error naming every valid kernel (and
+    the environment variable when that is where the value came from), never
+    silently remapped.
     """
     choice = kernel
+    from_env = False
     if choice is None or choice == "auto":
         env = os.environ.get(KERNEL_ENV)
         if env is not None and env.strip():
             choice = env.strip().lower()
+            from_env = True
         else:
             choice = DEFAULT_KERNEL
     if choice not in KERNELS:
+        source = f" (from ${KERNEL_ENV})" if from_env else ""
+        valid = ", ".join(repr(name) for name in KERNELS)
         raise ValueError(
-            f"unknown simulation kernel {choice!r}; expected one of {KERNELS} or 'auto'"
+            f"unknown simulation kernel {choice!r}{source}; "
+            f"valid kernels: {valid} (or 'auto')"
         )
     return choice
+
+
+def _resolve_spec(steering, num_clusters: int) -> Tuple[Optional[CompiledSteeringSpec], int]:
+    """The policy's validated lowering for this run: ``(spec, form code)``.
+
+    Returns ``(None, _FORM_CALLBACK)`` for policies without a lowering.
+    Malformed specs (custom policies declaring impossible parameters) are
+    rejected here with a clear error instead of steering µops out of range.
+
+    A lowering is only honoured when it was declared at (or below) the class
+    that defined ``pick_cluster``: a subclass overriding ``pick_cluster``
+    while inheriting ``compiled_spec`` would otherwise fuse the *parent's*
+    decision function and silently ignore the override.
+    """
+    mro = type(steering).__mro__
+    pick_owner = next(c for c in mro if "pick_cluster" in c.__dict__)
+    spec_owner = next(
+        (c for c in mro if "compiled_spec" in c.__dict__), SteeringPolicy
+    )
+    if not issubclass(spec_owner, pick_owner):
+        return None, _FORM_CALLBACK
+    spec = steering.compiled_spec()
+    if spec is None:
+        return None, _FORM_CALLBACK
+    form = _FORM_CODES[spec.form]  # CompiledSteeringSpec validated the name
+    if form == _FORM_CONSTANT and not 0 <= spec.target_cluster < num_clusters:
+        raise ValueError(
+            f"compiled spec of policy {steering.name}: target cluster "
+            f"{spec.target_cluster} does not exist in a {num_clusters}-cluster machine"
+        )
+    if form == _FORM_MAP:
+        if len(spec.mapping) != spec.num_virtual_clusters:
+            raise ValueError(
+                f"compiled spec of policy {steering.name}: mapping has "
+                f"{len(spec.mapping)} entries, expected {spec.num_virtual_clusters}"
+            )
+        for target in spec.mapping:
+            if not 0 <= target < num_clusters:
+                raise ValueError(
+                    f"compiled spec of policy {steering.name}: mapping entry "
+                    f"{target} is not a valid cluster"
+                )
+    return spec, form
+
+
+def _sync_spec_state(steering, form: int, mod_next: int, vc_map, vc_remaps: int) -> None:
+    """Hand a fused run's final policy state back to the policy object."""
+    if form == _FORM_MODULO:
+        steering.sync_compiled_state({"next": mod_next})
+    elif form == _FORM_MAP:
+        steering.sync_compiled_state(
+            {"mapping": tuple(vc_map), "remap_count": vc_remaps}
+        )
+    elif form != _FORM_CALLBACK:
+        steering.sync_compiled_state({})
 
 
 class VectorizedKernel(SteeringContext):
@@ -98,6 +190,7 @@ class VectorizedKernel(SteeringContext):
         "_issue_widths",
         # per-trace hoists (bind time)
         "_n",
+        "_compiled",
         "_u_meta",
         "_def_uop",
         "_def_reg",
@@ -124,6 +217,7 @@ class VectorizedKernel(SteeringContext):
         self._qcap = processor.issue_queues.capacity_list()
         self._issue_widths = processor.issue_queues.issue_width_list()
         self._n = 0
+        self._compiled: Optional[CompiledTrace] = None
         self._occ: List[int] = []
         self._inflight: List[int] = []
         self._cur_def: List[int] = []
@@ -158,6 +252,7 @@ class VectorizedKernel(SteeringContext):
         """
         plan = compiled.dependency_plan()
         self._n = len(compiled)
+        self._compiled = compiled
         self._def_uop = plan.def_uop
         self._def_reg = plan.def_reg
         self._dest_start = plan.dest_offsets
@@ -183,6 +278,84 @@ class VectorizedKernel(SteeringContext):
         metrics = proc.metrics
         view = proc._view
         steering = proc.steering
+
+        # Compiled steering tier: resolve the policy's lowering for this run.
+        # The spec is requested fresh per run -- after the processor reset the
+        # policy -- so stateful forms snapshot their post-reset state and get
+        # the final state handed back when the run ends.  ``fused_steering``
+        # (a processor knob, like ``idle_skip``) pins the per-µop callback
+        # path for parity tests and baselines.
+        spec, form = (
+            _resolve_spec(steering, num_clusters)
+            if proc.fused_steering
+            else (None, _FORM_CALLBACK)
+        )
+        if proc.kernel == "vectorized-jit" and form != _FORM_CALLBACK:
+            # Lowered policy on the jit kernel: the whole inner loop runs in
+            # :mod:`repro.cluster.jitloop` when numba is available (cache
+            # warm-up happens inside its array-form memory model, so it is
+            # not repeated here).  Without numba the fused loop below *is*
+            # the pure-Python twin of the jitted kernel -- same algorithm,
+            # list-based data structures (which pure Python executes faster
+            # than the array transcription) -- so execution simply falls
+            # through.  ``jitloop.FORCE_PURE`` overrides the choice so the
+            # parity suite can pin the transcription's semantics un-jitted.
+            from repro.cluster import jitloop
+
+            if jitloop.jit_active():
+                status, mod_next, vc_map, vc_remaps = jitloop.run_fused(
+                    self, spec, form, limit
+                )
+                _sync_spec_state(steering, form, mod_next, vc_map, vc_remaps)
+                if status:
+                    raise RuntimeError(
+                        f"simulation exceeded {limit} cycles "
+                        f"({proc.metrics.committed_uops} µops committed); "
+                        f"possible deadlock"
+                    )
+                return
+        if config.warm_caches:
+            # Warm-up is owned by the kernel (not ``run_bound``) so the jit
+            # path above can replay the same access plan inside its own model
+            # without paying the object-model pass first.
+            proc._warm_caches(self._compiled)
+
+        # Per-form precomputation of the fused fast path (cheap, per run).
+        const_cluster = 0
+        table: List[int] = []
+        mod_next = 0
+        idle_fraction = 0.0
+        srcs_rows = None
+        counts_buf: List[int] = []
+        vc_col: List[int] = []
+        leader_col: List[bool] = []
+        vc_map: List[int] = []
+        num_vc = 1
+        fallback_balance = True
+        vc_remaps = 0
+        all_mask = self._all_mask
+        if form == _FORM_CONSTANT:
+            const_cluster = spec.target_cluster
+        elif form == _FORM_TABLE:
+            # Annotations are re-read every run (like the view), so the
+            # choice table is rebuilt from the live column each time.
+            col = self._compiled.static_cluster
+            table = (
+                np.where(col == NO_ANNOTATION, spec.default_cluster, col).astype(
+                    np.int64
+                )
+                % num_clusters
+            ).tolist()
+        elif form == _FORM_DEP or form == _FORM_OCC:
+            srcs_rows = self._compiled.src_tuples()
+            counts_buf = [0] * num_clusters
+            idle_fraction = spec.idle_fraction
+        elif form == _FORM_MAP:
+            vc_col = self._compiled.vc_id.tolist()
+            leader_col = self._compiled.chain_leader_list()
+            num_vc = spec.num_virtual_clusters
+            fallback_balance = spec.fallback_balance
+            vc_map = list(spec.mapping)
 
         # Borrowed live accounting (fresh from _reset_state): the issue-queue
         # occupancy, register-file free counts and per-cluster in-flight
@@ -442,20 +615,9 @@ class VectorizedKernel(SteeringContext):
                         if blocked:
                             m_mispredict_stalls += 1
                             break
-                        view.index = index
-                        cluster = pick_cluster(view, self)
-                        if cluster is None:
-                            m_steer += 1
-                            break
-                        if cluster < 0 or cluster >= num_clusters:
-                            raise ValueError(
-                                f"steering policy {steering_name} returned "
-                                f"invalid cluster {cluster}"
-                            )
-                        # ---- resource checks (the interpreter's _try_dispatch) --
-                        if dispatch_pos - commit_idx >= rob_size:
-                            m_rob += 1
-                            break
+                        # The meta unpack has no side effects, so hoisting it
+                        # above the steering decision (the occupancy form
+                        # needs the queue kind) cannot perturb any metric.
                         (
                             kind,
                             uop_is_memory,
@@ -468,6 +630,142 @@ class VectorizedKernel(SteeringContext):
                             dest_lo,
                             dest_hi,
                         ) = meta[index]
+                        # ---- steering decision (fused forms or callback) -------
+                        # Every fused form replicates its policy's
+                        # ``pick_cluster`` verbatim over the same observables
+                        # (the kernel's own context arrays), at the same point
+                        # in the loop -- the lowered parity suite pins
+                        # bit-identity against the callback path.
+                        if form == _FORM_CALLBACK:
+                            view.index = index
+                            cluster = pick_cluster(view, self)
+                            if cluster is None:
+                                m_steer += 1
+                                break
+                            if cluster < 0 or cluster >= num_clusters:
+                                raise ValueError(
+                                    f"steering policy {steering_name} returned "
+                                    f"invalid cluster {cluster}"
+                                )
+                        elif form == _FORM_OCC:
+                            for c in range(num_clusters):
+                                counts_buf[c] = 0
+                            for reg in srcs_rows[index]:
+                                d = cur_def[reg]
+                                mask = (
+                                    all_mask
+                                    if d < 0
+                                    else def_mask[d] | (1 << def_home[d])
+                                )
+                                for c in range(num_clusters):
+                                    if mask >> c & 1:
+                                        counts_buf[c] += 1
+                            best_count = -1
+                            preferred = 0
+                            preferred_occ = 0
+                            for c in range(num_clusters):
+                                count = counts_buf[c]
+                                if count > best_count:
+                                    best_count = count
+                                    preferred = c
+                                    preferred_occ = inflight[c]
+                                elif count == best_count:
+                                    occupancy = inflight[c]
+                                    if occupancy < preferred_occ:
+                                        preferred = c
+                                        preferred_occ = occupancy
+                            if qcap[kind] - occ[preferred * 3 + kind] > 0:
+                                cluster = preferred
+                            else:
+                                threshold = preferred_occ * idle_fraction
+                                diverted = -1
+                                diverted_occ = 0
+                                for c in range(num_clusters):
+                                    if (
+                                        c == preferred
+                                        or qcap[kind] - occ[c * 3 + kind] <= 0
+                                    ):
+                                        continue
+                                    occupancy = inflight[c]
+                                    if occupancy <= threshold and (
+                                        diverted < 0 or occupancy < diverted_occ
+                                    ):
+                                        diverted = c
+                                        diverted_occ = occupancy
+                                if diverted < 0:
+                                    m_steer += 1
+                                    break
+                                cluster = diverted
+                        elif form == _FORM_MAP:
+                            vc = vc_col[index]
+                            if vc < 0:
+                                if fallback_balance:
+                                    cluster = 0
+                                    best_occ = inflight[0]
+                                    for c in range(1, num_clusters):
+                                        occupancy = inflight[c]
+                                        if occupancy < best_occ:
+                                            cluster = c
+                                            best_occ = occupancy
+                                else:
+                                    cluster = 0
+                            else:
+                                vc = vc % num_vc
+                                if leader_col[index]:
+                                    cluster = 0
+                                    best_occ = inflight[0]
+                                    for c in range(1, num_clusters):
+                                        occupancy = inflight[c]
+                                        if occupancy < best_occ:
+                                            cluster = c
+                                            best_occ = occupancy
+                                    if vc_map[vc] != cluster:
+                                        vc_remaps += 1
+                                    vc_map[vc] = cluster
+                                else:
+                                    cluster = vc_map[vc]
+                        elif form == _FORM_CONSTANT:
+                            cluster = const_cluster
+                        elif form == _FORM_TABLE:
+                            cluster = table[index]
+                        elif form == _FORM_MODULO:
+                            cluster = mod_next
+                            mod_next = cluster + 1
+                            if mod_next >= num_clusters:
+                                mod_next = 0
+                        elif form == _FORM_LEAST:
+                            cluster = 0
+                            best_occ = inflight[0]
+                            for c in range(1, num_clusters):
+                                occupancy = inflight[c]
+                                if occupancy < best_occ:
+                                    cluster = c
+                                    best_occ = occupancy
+                        else:  # _FORM_DEP
+                            for c in range(num_clusters):
+                                counts_buf[c] = 0
+                            for reg in srcs_rows[index]:
+                                d = cur_def[reg]
+                                mask = (
+                                    all_mask
+                                    if d < 0
+                                    else def_mask[d] | (1 << def_home[d])
+                                )
+                                for c in range(num_clusters):
+                                    if mask >> c & 1:
+                                        counts_buf[c] += 1
+                            best_count = 0
+                            for c in range(num_clusters):
+                                if counts_buf[c] > best_count:
+                                    best_count = counts_buf[c]
+                            if best_count == 0:
+                                cluster = 0
+                            else:
+                                cluster = counts_buf.index(best_count)
+                        # ---- resource checks (the interpreter's _try_dispatch) --
+                        if dispatch_pos - commit_idx >= rob_size:
+                            m_rob += 1
+                            break
                         if uop_is_memory and lsq_count >= lsq_size:
                             m_lsq += 1
                             break
@@ -691,6 +989,7 @@ class VectorizedKernel(SteeringContext):
                         m_mispredict_stalls += stalled
                 cycle = goal
         finally:
+            _sync_spec_state(steering, form, mod_next, vc_map, vc_remaps)
             proc.cycle = cycle
             metrics.committed_uops += m_committed
             metrics.dispatched_uops += m_dispatched

@@ -125,11 +125,15 @@ class ClusteredProcessor(SteeringContext):
     kernel:
         Simulation kernel: ``"interpreter"`` (the original object-graph
         reference implementation), ``"vectorized"`` (the flat-state two-tier
-        kernel, bit-identical and several times faster) or ``"auto"``/
-        ``None`` to follow ``$REPRO_KERNEL`` and the built-in default.  The
-        choice affects throughput only -- never metrics -- so it is a
-        processor knob, not a :class:`ClusterConfig` field (result caches key
-        on the config and must not fragment by kernel).
+        kernel, bit-identical and several times faster),
+        ``"vectorized-jit"`` (the vectorized kernel with the inner loop run
+        through :mod:`repro.cluster.jitloop` for policies that expose a
+        :meth:`~repro.steering.base.SteeringPolicy.compiled_spec` --
+        numba-jitted when numba is installed, the pure-Python twin otherwise)
+        or ``"auto"``/``None`` to follow ``$REPRO_KERNEL`` and the built-in
+        default.  The choice affects throughput only -- never metrics -- so
+        it is a processor knob, not a :class:`ClusterConfig` field (result
+        caches key on the config and must not fragment by kernel).
     """
 
     def __init__(
@@ -147,10 +151,17 @@ class ClusteredProcessor(SteeringContext):
         #: provably idle stretches (the skip-vs-step parity suite pins that
         #: both settings produce bit-identical metrics on both kernels).
         self.idle_skip = True
+        #: Test/debug knob: ``False`` keeps every policy on the per-µop
+        #: callback path even when it exposes a ``compiled_spec`` (the
+        #: lowered parity suite pins that the fused fast path is bit-identical
+        #: to the callback path; benchmarks use it as the pre-fusion baseline).
+        self.fused_steering = True
         self._bound: Optional[CompiledTrace] = None
         self._reset_state()
         self._vkernel = (
-            VectorizedKernel(self) if self.kernel == "vectorized" else None
+            VectorizedKernel(self)
+            if self.kernel in ("vectorized", "vectorized-jit")
+            else None
         )
 
     # ------------------------------------------------------------------ state --
@@ -294,12 +305,15 @@ class ClusteredProcessor(SteeringContext):
         # (and reconstructs statics from them), which change between the runs
         # of a batch.
         self._view = CompiledUopView(compiled)
-        if self.config.warm_caches:
-            self._warm_caches(compiled)
         limit = max_cycles if max_cycles is not None else self.config.max_cycles
         if self._vkernel is not None:
+            # Cache warm-up is owned by the kernel: the jitted fast path
+            # replays the access plan inside its own array-form cache model,
+            # so warming the object model here would double the cost.
             self._vkernel.run(limit)
         else:
+            if self.config.warm_caches:
+                self._warm_caches(compiled)
             idle_skip = self.idle_skip
             while not self._finished():
                 self._step()

@@ -19,14 +19,85 @@ the dependence-check table.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Tuple
 
 from repro.uops.opcodes import IssueQueueKind
 from repro.uops.uop import DynamicUop
 
 #: Sentinel returned by a policy that decides to stall the front end this cycle.
 STALL: Optional[int] = None
+
+#: Decision forms a :class:`CompiledSteeringSpec` may declare.  Every form is
+#: a pure function of observables the :class:`SteeringContext` already scopes
+#: (per-cluster occupancy, queue free counts, register-location masks) plus
+#: the µop's own dispatch metadata -- nothing a real steering unit could not
+#: observe, and nothing outside the context discipline documented above.
+SPEC_FORMS = (
+    # pick_cluster == target_cluster (one-cluster).
+    "constant",
+    # pick_cluster == (static_cluster[i] if annotated else default) % N
+    # (software-only OB/RHOP steering).
+    "static-table",
+    # pick_cluster == counter; counter = (counter + 1) % N on every pick,
+    # including picks whose dispatch is subsequently stalled (round-robin).
+    "modulo",
+    # pick_cluster == argmin over cluster occupancy, lowest index wins ties
+    # (load-balance).
+    "least-loaded",
+    # pick_cluster == argmax over per-cluster located-source counts
+    # (duplicates preserved), 0 when no source is located (dependence-only).
+    "dependence-count",
+    # The paper's OP baseline: argmax located sources with occupancy
+    # tie-breaks, then queue-full stalling with idle diversion.  May STALL.
+    "occupancy-stall",
+    # The paper's VC scheme: a flat virtual-to-physical mapping table,
+    # remapped to the least loaded cluster at chain leaders.
+    "mapping-table",
+)
+
+
+@dataclass(frozen=True)
+class CompiledSteeringSpec:
+    """Declarative lowering of a steering policy's decision function.
+
+    A policy that can express :meth:`SteeringPolicy.pick_cluster` as one of
+    the closed :data:`SPEC_FORMS` returns a spec from
+    :meth:`SteeringPolicy.compiled_spec`; the vectorized kernel then runs the
+    decision *inside* the array tier -- no per-µop Python frames -- and the
+    ``vectorized-jit`` kernel compiles it into the jitted inner loop.  The
+    spec must reproduce ``pick_cluster`` bit-for-bit: the parity suites run
+    every lowered policy through both tiers and compare metrics
+    field-for-field.
+
+    Specs are snapshots: the kernel requests a fresh one per run, after the
+    policy's ``reset``, so stateful forms embed their post-reset state
+    (``mapping``) and receive the final state back through
+    :meth:`SteeringPolicy.sync_compiled_state` when the run completes.
+    """
+
+    #: One of :data:`SPEC_FORMS`.
+    form: str
+    #: ``constant``: the fixed target cluster.
+    target_cluster: int = 0
+    #: ``static-table``: cluster for µops without a static binding.
+    default_cluster: int = 0
+    #: ``occupancy-stall``: idle-diversion threshold fraction.
+    idle_fraction: float = 0.5
+    #: ``mapping-table``: number of virtual clusters (mapping-table entries).
+    num_virtual_clusters: int = 1
+    #: ``mapping-table``: send unannotated µops to the least loaded cluster
+    #: (``True``) or to cluster 0 (``False``).
+    fallback_balance: bool = True
+    #: ``mapping-table``: initial virtual-to-physical mapping, index = vc.
+    mapping: Tuple[int, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.form not in SPEC_FORMS:
+            raise ValueError(
+                f"unknown compiled-steering form {self.form!r}; "
+                f"expected one of {SPEC_FORMS}"
+            )
 
 
 @dataclass(frozen=True)
@@ -112,6 +183,35 @@ class SteeringPolicy(abc.ABC):
     def hardware(self) -> SteeringHardware:
         """Hardware structures needed by the policy (Table 1 row)."""
         return SteeringHardware()
+
+    # -- optional declarative lowering (the compiled steering tier) ---------------
+    def compiled_spec(self) -> Optional[CompiledSteeringSpec]:
+        """Declarative lowering of :meth:`pick_cluster`, or ``None``.
+
+        Policies whose decision is a pure function of the context observables
+        (one of :data:`SPEC_FORMS`) may return a :class:`CompiledSteeringSpec`
+        so the vectorized kernels run the decision inside the array tier.
+        The spec must be bit-identical to ``pick_cluster`` -- the lowered
+        parity suite compares both paths field-for-field on every metric.
+        Returning ``None`` (the default) keeps the policy on the per-µop
+        callback path, which observes every acting cycle in dispatch order.
+
+        Called once per run, *after* :meth:`reset`, so stateful forms embed
+        their post-reset state in the spec (and adopt the final state back
+        via :meth:`sync_compiled_state`).
+        """
+        return None
+
+    def sync_compiled_state(self, state: Mapping[str, object]) -> None:
+        """Adopt the final run state of a fused (lowered) execution.
+
+        Called exactly once at the end of a run that executed this policy's
+        :meth:`compiled_spec` instead of ``pick_cluster``.  ``state`` carries
+        the form's run-time state (``modulo``: ``{"next": int}``;
+        ``mapping-table``: ``{"mapping": tuple, "remap_count": int}``;
+        stateless forms: ``{}``), so post-run introspection -- e.g. the
+        ``vc_remaps`` metric -- matches the callback path exactly.
+        """
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}()"

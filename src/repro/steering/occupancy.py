@@ -24,7 +24,13 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.scenarios.registry import register_policy
-from repro.steering.base import STALL, SteeringContext, SteeringHardware, SteeringPolicy
+from repro.steering.base import (
+    STALL,
+    CompiledSteeringSpec,
+    SteeringContext,
+    SteeringHardware,
+    SteeringPolicy,
+)
 from repro.uops.uop import DynamicUop
 
 
@@ -102,6 +108,19 @@ class OccupancyAwareSteering(SteeringPolicy):
                 diverted = cluster
                 diverted_occupancy = occupancy
         return diverted if diverted >= 0 else STALL
+
+    def compiled_spec(self) -> Optional[CompiledSteeringSpec]:
+        """Lower to the ``occupancy-stall`` form.
+
+        The form replicates the full selection verbatim -- per-cluster
+        located-source counts (duplicates preserved), occupancy tie-breaks
+        with the lowest index winning, queue-full stalling and the
+        idle-diversion filter -- including the STALL outcome, which the
+        kernels account as a steering stall exactly like the callback path.
+        """
+        return CompiledSteeringSpec(
+            form="occupancy-stall", idle_fraction=self.idle_fraction
+        )
 
     def hardware(self) -> SteeringHardware:
         """OP needs every structure of Table 1."""

@@ -10,7 +10,12 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.scenarios.registry import register_policy
-from repro.steering.base import SteeringContext, SteeringHardware, SteeringPolicy
+from repro.steering.base import (
+    CompiledSteeringSpec,
+    SteeringContext,
+    SteeringHardware,
+    SteeringPolicy,
+)
 from repro.uops.uop import DynamicUop
 
 
@@ -35,6 +40,10 @@ class OneClusterSteering(SteeringPolicy):
     def pick_cluster(self, uop: DynamicUop, context: SteeringContext) -> Optional[int]:
         """Always the configured cluster."""
         return self.target_cluster
+
+    def compiled_spec(self) -> Optional[CompiledSteeringSpec]:
+        """Lower to the ``constant`` form (``reset`` validated the target)."""
+        return CompiledSteeringSpec(form="constant", target_cluster=self.target_cluster)
 
     def hardware(self) -> SteeringHardware:
         """No steering hardware at all (and no copies are ever needed)."""

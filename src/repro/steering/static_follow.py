@@ -16,7 +16,12 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.scenarios.registry import register_policy
-from repro.steering.base import SteeringContext, SteeringHardware, SteeringPolicy
+from repro.steering.base import (
+    CompiledSteeringSpec,
+    SteeringContext,
+    SteeringHardware,
+    SteeringPolicy,
+)
 from repro.uops.uop import DynamicUop
 
 
@@ -48,6 +53,18 @@ class StaticAssignmentSteering(SteeringPolicy):
         # the available ones; this also keeps the policy robust to mismatched
         # configurations in ablation studies.
         return int(target) % context.num_clusters
+
+    def compiled_spec(self) -> Optional[CompiledSteeringSpec]:
+        """Lower to the ``static-table`` form.
+
+        The kernel builds the per-µop choice table from the trace's
+        ``static_cluster`` column at run start (annotations are re-read every
+        run), substituting ``default_cluster`` for unbound µops and folding
+        with the same modulo ``pick_cluster`` applies.
+        """
+        return CompiledSteeringSpec(
+            form="static-table", default_cluster=self.default_cluster
+        )
 
     def hardware(self) -> SteeringHardware:
         """Only the copy generator remains in hardware."""

@@ -21,10 +21,15 @@ decision of µop *i-1* in the same dispatch group.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Mapping, Optional
 
 from repro.scenarios.registry import register_policy
-from repro.steering.base import SteeringContext, SteeringHardware, SteeringPolicy
+from repro.steering.base import (
+    CompiledSteeringSpec,
+    SteeringContext,
+    SteeringHardware,
+    SteeringPolicy,
+)
 from repro.uops.uop import DynamicUop
 
 
@@ -84,6 +89,29 @@ class VirtualClusterSteering(SteeringPolicy):
             self._mapping[vc] = target
             return target
         return self._mapping.get(vc, vc % context.num_clusters)
+
+    def compiled_spec(self) -> Optional[CompiledSteeringSpec]:
+        """Lower to the ``mapping-table`` form.
+
+        The mapping table is exactly a flat int array indexed by virtual
+        cluster (``reset`` populates every entry and ``pick_cluster``
+        normalises ids into range before lookup), so the whole policy state
+        ships as a tuple snapshot; the final mapping and the remap count come
+        back through :meth:`sync_compiled_state`.
+        """
+        return CompiledSteeringSpec(
+            form="mapping-table",
+            num_virtual_clusters=self.num_virtual_clusters,
+            fallback_balance=self.fallback_balance,
+            mapping=tuple(
+                self._mapping[vc] for vc in range(self.num_virtual_clusters)
+            ),
+        )
+
+    def sync_compiled_state(self, state: Mapping[str, object]) -> None:
+        """Adopt the fused run's final mapping table and remap count."""
+        self._mapping = dict(enumerate(state["mapping"]))
+        self.remap_count = int(state["remap_count"])
 
     def hardware(self) -> SteeringHardware:
         """Workload counters, the tiny mapping table, and the copy generator."""

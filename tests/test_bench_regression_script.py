@@ -112,3 +112,67 @@ class TestNameDrift:
         slowed = {name: mean * 2.0 for name, mean in GOOD.items()}
         fresh = bench_json(tmp_path / "fresh.json", slowed)
         assert cbr.main(["--snapshot", str(snap), "--fresh", str(fresh), "--strict"]) == 1
+
+
+def substrate_means(**overrides):
+    """A substrate bench run where every headline sits above its floor."""
+    means = {
+        cbr.KERNEL_OP_BASELINE: 0.40,
+        cbr.KERNEL_OP_SUBJECT: 0.10,   # fused default: 4x over the interpreter
+        cbr.KERNEL_VC_BASELINE: 0.40,
+        cbr.KERNEL_VC_SUBJECT: 0.10,
+        cbr.FUSED_OP_BASELINE: 0.12,   # callback path: 1.2x slower than fused
+        cbr.FUSED_VC_BASELINE: 0.12,
+    }
+    means.update(overrides)
+    return means
+
+
+class TestCompiledSteeringHeadlines:
+    def _run(self, tmp_path, means):
+        snap = bench_json(tmp_path / "snap.json", GOOD)
+        sub = bench_json(tmp_path / "sub.json", means)
+        return cbr.main(
+            [
+                "--snapshot", str(snap), "--fresh", str(snap),
+                "--substrate-snapshot", str(sub), "--substrate-fresh", str(sub),
+                "--strict",
+            ]
+        )
+
+    def test_fused_headline_above_floor_passes(self, tmp_path, capsys):
+        assert self._run(tmp_path, substrate_means()) == 0
+        out = capsys.readouterr().out
+        assert "fused-steering-vs-callback (OP) speedup: 1.20x" in out
+        assert "fused-steering-vs-callback (VC) speedup: 1.20x" in out
+
+    def test_fused_headline_below_floor_warns(self, tmp_path, capsys):
+        # Fused path slower than the callback path: the tier regressed.
+        means = substrate_means(**{cbr.FUSED_OP_BASELINE: 0.09})
+        assert self._run(tmp_path, means) == 1
+        assert "WARNING: fused-steering-vs-callback (OP)" in capsys.readouterr().out
+
+    def test_jit_headline_skipped_without_jit_benchmarks(self, tmp_path, capsys):
+        # No numba on the runner: the *_jit benchmarks never ran, so the jit
+        # headline must be skipped with a note -- not warned, not invented.
+        assert self._run(tmp_path, substrate_means()) == 0
+        out = capsys.readouterr().out
+        assert "jit-loop-vs-callback (OP) headline skipped" in out
+        assert "jit-loop-vs-callback (VC) headline skipped" in out
+
+    def test_jit_headline_checked_when_present(self, tmp_path, capsys):
+        means = substrate_means(
+            **{cbr.JIT_OP_SUBJECT: 0.04, cbr.JIT_VC_SUBJECT: 0.04}
+        )
+        assert self._run(tmp_path, means) == 0
+        out = capsys.readouterr().out
+        assert "jit-loop-vs-callback (OP) speedup: 3.00x" in out
+
+    def test_jit_headline_below_floor_warns(self, tmp_path, capsys):
+        # A jitted loop barely beating the callback path means the jit tier
+        # lost its reason to exist; the 2x floor catches it.
+        means = substrate_means(
+            **{cbr.JIT_OP_SUBJECT: 0.10, cbr.JIT_VC_SUBJECT: 0.04}
+        )
+        assert self._run(tmp_path, means) == 1
+        assert "WARNING: jit-loop-vs-callback (OP)" in capsys.readouterr().out

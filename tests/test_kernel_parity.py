@@ -7,12 +7,18 @@ bit-identical metrics on every trace, with idle-cycle skipping on or off.
 These tests pin that contract:
 
 * ``resolve_kernel`` precedence (explicit argument > ``$REPRO_KERNEL`` >
-  built-in default, blank env treated as unset),
+  built-in default, blank env treated as unset) and its rejection message,
 * the full golden suite (all five Table 3 configurations) computed under
-  each kernel and compared field-by-field,
+  every kernel and compared field-by-field against the interpreter,
 * skip-vs-step parity: the same compiled trace with idle skipping disabled
-  and enabled, under both kernels, including the bulk accounting of
-  mispredict-redirect stall cycles that the skip path performs.
+  and enabled, under every kernel, including the bulk accounting of
+  mispredict-redirect stall cycles that the skip path performs,
+* the compiled steering tier: every builtin lowering (``compiled_spec``)
+  runs fused and un-fused, under ``vectorized`` and ``vectorized-jit``
+  (including the pure-Python transcription twin via ``jitloop.FORCE_PURE``),
+  and must be field-identical to the interpreter -- policy state included,
+* mid-batch fallback: a ``run_many`` sweep mixing lowered and un-lowered
+  policies must match fresh per-policy interpreter runs.
 """
 
 from __future__ import annotations
@@ -20,14 +26,30 @@ from __future__ import annotations
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.cluster import jitloop
 from repro.cluster.config import ClusterConfig
-from repro.cluster.kernel import DEFAULT_KERNEL, KERNEL_ENV, KERNELS, resolve_kernel
+from repro.cluster.kernel import (
+    DEFAULT_KERNEL,
+    KERNEL_ENV,
+    KERNELS,
+    _FORM_CALLBACK,
+    _resolve_spec,
+    resolve_kernel,
+)
 from repro.cluster.processor import ClusteredProcessor, simulate_trace
 from repro.experiments.golden import compute_golden_snapshot
+from repro.partition.ob_partitioner import OperationBasedPartitioner
 from repro.partition.vc_partitioner import VirtualClusterPartitioner
-from repro.steering.baselines import LoadBalanceSteering, RoundRobinSteering
+from repro.sanitize import SANITIZE_ENV
+from repro.steering.base import CompiledSteeringSpec, SteeringPolicy
+from repro.steering.baselines import (
+    DependenceOnlySteering,
+    LoadBalanceSteering,
+    RoundRobinSteering,
+)
 from repro.steering.occupancy import OccupancyAwareSteering
 from repro.steering.one_cluster import OneClusterSteering
+from repro.steering.static_follow import StaticAssignmentSteering
 from repro.steering.virtual_cluster import VirtualClusterSteering
 from repro.uops.compiled import compile_trace
 from repro.uops.opcodes import UopClass
@@ -68,6 +90,29 @@ class TestResolveKernel:
         with pytest.raises(ValueError):
             resolve_kernel()
 
+    def test_jit_kernel_accepted(self, monkeypatch):
+        monkeypatch.delenv(KERNEL_ENV, raising=False)
+        assert resolve_kernel("vectorized-jit") == "vectorized-jit"
+        monkeypatch.setenv(KERNEL_ENV, "vectorized-jit")
+        assert resolve_kernel() == "vectorized-jit"
+
+    def test_rejection_lists_valid_kernels(self, monkeypatch):
+        monkeypatch.delenv(KERNEL_ENV, raising=False)
+        with pytest.raises(ValueError) as excinfo:
+            resolve_kernel("turbo")
+        message = str(excinfo.value)
+        assert "'turbo'" in message
+        for kernel in KERNELS:
+            assert repr(kernel) in message
+        # The bad value came from the argument, not the environment.
+        assert KERNEL_ENV not in message
+
+    def test_rejection_attributes_env_source(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV, "turbo")
+        with pytest.raises(ValueError) as excinfo:
+            resolve_kernel()
+        assert f"(from ${KERNEL_ENV})" in str(excinfo.value)
+
     def test_processor_honours_env(self, monkeypatch):
         monkeypatch.setenv(KERNEL_ENV, "interpreter")
         processor = ClusteredProcessor(ClusterConfig(num_clusters=2), OneClusterSteering())
@@ -100,12 +145,17 @@ def golden_by_kernel():
 
 class TestGoldenSuiteParity:
     def test_golden_suite_bit_identical_across_kernels(self, golden_by_kernel):
-        interp, vec = (golden_by_kernel[k] for k in KERNELS)
-        assert interp["settings"] == vec["settings"]
-        for case_i, case_v in zip(interp["cases"], vec["cases"]):
-            assert case_i == case_v, (
-                f"kernel divergence on {case_i['benchmark']}/{case_i['configuration']}"
-            )
+        reference = golden_by_kernel["interpreter"]
+        for kernel in KERNELS:
+            if kernel == "interpreter":
+                continue
+            other = golden_by_kernel[kernel]
+            assert reference["settings"] == other["settings"]
+            for case_i, case_k in zip(reference["cases"], other["cases"]):
+                assert case_i == case_k, (
+                    f"{kernel} divergence on "
+                    f"{case_i['benchmark']}/{case_i['configuration']}"
+                )
 
 
 def _policy_factories():
@@ -115,7 +165,17 @@ def _policy_factories():
         "LD": LoadBalanceSteering,
         "RR": RoundRobinSteering,
         "1C": OneClusterSteering,
+        "DEP": DependenceOnlySteering,
+        "STATIC": StaticAssignmentSteering,
     }
+
+
+def _annotate_for(policy, program):
+    """Run the compile-time pass whose annotations the policy consumes."""
+    if policy == "VC":
+        VirtualClusterPartitioner(2).annotate_program(program)
+    elif policy == "STATIC":
+        OperationBasedPartitioner(2).annotate_program(program)
 
 
 def _run_all_modes(compiled, policy_factory, config):
@@ -143,8 +203,7 @@ class TestSkipVsStepParity:
         program, trace = WorkloadGenerator(profile_for(benchmark)).generate_trace(
             length, phase=phase
         )
-        if policy == "VC":
-            VirtualClusterPartitioner(2).annotate_program(program)
+        _annotate_for(policy, program)
         compiled = compile_trace(trace)
         compiled.annotate_from(program)
         config = ClusterConfig(num_clusters=2, warm_caches=False)
@@ -168,6 +227,266 @@ class TestSkipVsStepParity:
         assert reference["mispredict_stalls"] > 0
         for mode, metrics in results.items():
             assert metrics == reference, f"{mode} diverged from plain interpreter"
+
+
+class _CallbackOnlySteering(SteeringPolicy):
+    """A policy without a lowering: always takes the per-µop callback path."""
+
+    name = "callback-only"
+
+    def pick_cluster(self, uop, context):
+        return context.least_loaded_cluster()
+
+
+class TestCompiledSpecs:
+    """The lowering contract of the builtin policies and its validation."""
+
+    def test_builtin_lowerings(self):
+        expected = {
+            "constant": OneClusterSteering(),
+            "static-table": StaticAssignmentSteering(),
+            "modulo": RoundRobinSteering(),
+            "least-loaded": LoadBalanceSteering(),
+            "dependence-count": DependenceOnlySteering(),
+            "occupancy-stall": OccupancyAwareSteering(),
+            "mapping-table": VirtualClusterSteering(2),
+        }
+        for form, policy in expected.items():
+            policy.reset(2)
+            spec = policy.compiled_spec()
+            assert spec is not None and spec.form == form, policy.name
+
+    def test_unlowered_policy_takes_callback_form(self):
+        spec, form = _resolve_spec(_CallbackOnlySteering(), 2)
+        assert spec is None and form == _FORM_CALLBACK
+
+    def test_overridden_pick_cluster_disarms_inherited_spec(self):
+        """A subclass overriding ``pick_cluster`` but inheriting
+        ``compiled_spec`` must fall back to the callback path -- the parent's
+        lowering no longer describes the subclass's decision function."""
+
+        class Shifted(RoundRobinSteering):
+            def pick_cluster(self, uop, context):
+                return (super().pick_cluster(uop, context) + 1) % context.num_clusters
+
+        spec, form = _resolve_spec(Shifted(), 2)
+        assert spec is None and form == _FORM_CALLBACK
+        # Redeclaring the lowering (even by delegation) re-arms it.
+
+        class Redeclared(Shifted):
+            def compiled_spec(self):
+                return None
+
+        spec, form = _resolve_spec(Redeclared(), 2)
+        assert spec is None and form == _FORM_CALLBACK
+
+    def test_unknown_form_rejected(self):
+        with pytest.raises(ValueError, match="unknown compiled-steering form"):
+            CompiledSteeringSpec(form="magic")
+
+    def test_constant_out_of_range_rejected(self):
+        class Bad(_CallbackOnlySteering):
+            def compiled_spec(self):
+                return CompiledSteeringSpec(form="constant", target_cluster=7)
+
+        with pytest.raises(ValueError, match="target cluster 7"):
+            _resolve_spec(Bad(), 2)
+
+    def test_mapping_length_mismatch_rejected(self):
+        class Bad(_CallbackOnlySteering):
+            def compiled_spec(self):
+                return CompiledSteeringSpec(
+                    form="mapping-table", num_virtual_clusters=3, mapping=(0, 1)
+                )
+
+        with pytest.raises(ValueError, match="2 entries, expected 3"):
+            _resolve_spec(Bad(), 2)
+
+    def test_mapping_out_of_range_rejected(self):
+        class Bad(_CallbackOnlySteering):
+            def compiled_spec(self):
+                return CompiledSteeringSpec(
+                    form="mapping-table", num_virtual_clusters=2, mapping=(0, 5)
+                )
+
+        with pytest.raises(ValueError, match="mapping entry 5"):
+            _resolve_spec(Bad(), 2)
+
+    def test_mapping_spec_snapshots_reset_state(self):
+        policy = VirtualClusterSteering(4)
+        policy.reset(3)
+        spec = policy.compiled_spec()
+        assert spec.mapping == (0, 1, 2, 0)
+        assert spec.num_virtual_clusters == 4
+
+
+def _lowered_modes():
+    """Every execution mode of the compiled steering tier.
+
+    ``(kernel, fused_steering, force_pure)`` tuples: the callback path
+    (``fused=False``), the fused array-tier fast path, and -- for the jit
+    kernel -- the pure-Python transcription twin (``jitloop.FORCE_PURE``),
+    which exercises ``jitloop._fused_loop_py`` even when numba is absent.
+    """
+    modes = []
+    for kernel in ("vectorized", "vectorized-jit"):
+        for fused in (False, True):
+            modes.append((kernel, fused, False))
+    modes.append(("vectorized-jit", True, True))
+    return modes
+
+
+def _run_lowered_mode(compiled, policy_factory, config, kernel, fused, force_pure):
+    """One simulation under a compiled-tier mode; returns (metrics, policy)."""
+    policy = policy_factory()
+    processor = ClusteredProcessor(config, policy, kernel=kernel)
+    processor.fused_steering = fused
+    saved = jitloop.FORCE_PURE
+    jitloop.FORCE_PURE = force_pure
+    try:
+        metrics = processor.run(compiled)
+    finally:
+        jitloop.FORCE_PURE = saved
+    return metrics.as_dict(), policy
+
+
+def _policy_state(policy):
+    """The policy state that fused runs must hand back bit-identically."""
+    if isinstance(policy, VirtualClusterSteering):
+        return (policy.mapping, policy.remap_count)
+    if isinstance(policy, RoundRobinSteering):
+        return policy._next
+    return None
+
+
+class TestLoweredSteeringParity:
+    """The fused fast path and the jit loop replicate the callback path."""
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        benchmark=st.sampled_from(["164.gzip-1", "178.galgel"]),
+        length=st.integers(min_value=120, max_value=400),
+        phase=st.integers(min_value=0, max_value=1),
+        policy=st.sampled_from(["OP", "VC", "LD", "RR", "1C", "DEP", "STATIC"]),
+        num_clusters=st.sampled_from([2, 4]),
+    )
+    def test_lowered_policies_match_interpreter(
+        self, benchmark, length, phase, policy, num_clusters
+    ):
+        program, trace = WorkloadGenerator(profile_for(benchmark)).generate_trace(
+            length, phase=phase
+        )
+        _annotate_for(policy, program)
+        compiled = compile_trace(trace)
+        compiled.annotate_from(program)
+        config = ClusterConfig(num_clusters=num_clusters, warm_caches=False)
+        factory = _policy_factories()[policy]
+        reference, ref_policy = _run_lowered_mode(
+            compiled, factory, config, "interpreter", True, False
+        )
+        ref_state = _policy_state(ref_policy)
+        for kernel, fused, force_pure in _lowered_modes():
+            metrics, run_policy = _run_lowered_mode(
+                compiled, factory, config, kernel, fused, force_pure
+            )
+            mode = (kernel, fused, "pure" if force_pure else "auto")
+            assert metrics == reference, f"{policy} diverged under {mode}"
+            assert _policy_state(run_policy) == ref_state, (
+                f"{policy} final state diverged under {mode}"
+            )
+
+    def test_lowered_parity_under_sanitizer(self, monkeypatch):
+        """The fused and jit paths never write the frozen bound trace."""
+        monkeypatch.setenv(SANITIZE_ENV, "1")
+        program, trace = WorkloadGenerator(profile_for("164.gzip-1")).generate_trace(
+            300, phase=0
+        )
+        VirtualClusterPartitioner(2).annotate_program(program)
+        compiled = compile_trace(trace)
+        compiled.annotate_from(program)
+        config = ClusterConfig(num_clusters=2, warm_caches=False)
+        for name, factory in _policy_factories().items():
+            reference, _ = _run_lowered_mode(
+                compiled, factory, config, "interpreter", True, False
+            )
+            for kernel, fused, force_pure in _lowered_modes():
+                metrics, _ = _run_lowered_mode(
+                    compiled, factory, config, kernel, fused, force_pure
+                )
+                assert metrics == reference, (
+                    f"{name} diverged under sanitizer in "
+                    f"{(kernel, fused, force_pure)}"
+                )
+
+
+class TestMidTraceFallback:
+    """Un-lowered policies fall back to the callback path inside one batch."""
+
+    @staticmethod
+    def _policies():
+        return [
+            VirtualClusterSteering(2),
+            _CallbackOnlySteering(),
+            RoundRobinSteering(),
+        ]
+
+    def test_run_many_mixes_lowered_and_callback_policies(self):
+        program, trace = WorkloadGenerator(profile_for("178.galgel")).generate_trace(
+            400, phase=0
+        )
+        VirtualClusterPartitioner(2).annotate_program(program)
+        compiled = compile_trace(trace)
+        compiled.annotate_from(program)
+        config = ClusterConfig(num_clusters=2, warm_caches=False)
+        reference = [
+            ClusteredProcessor(config, policy, kernel="interpreter")
+            .run(compiled)
+            .as_dict()
+            for policy in self._policies()
+        ]
+        for kernel in ("vectorized", "vectorized-jit"):
+            policies = self._policies()
+            processor = ClusteredProcessor(config, policies[0], kernel=kernel)
+            batch = [m.as_dict() for m in processor.run_many(compiled, policies)]
+            assert batch == reference, f"mixed batch diverged under {kernel}"
+
+
+class TestJitTwinSelection:
+    """The jit kernel's twin selection: numba when present, Python otherwise."""
+
+    @pytest.mark.skipif(
+        jitloop.JIT_ENABLED, reason="numba installed: jitted loop is selected"
+    )
+    def test_without_numba_fused_python_twin_is_selected(self):
+        # ``jit_active()`` is False, so ``VectorizedKernel.run`` never
+        # delegates to jitloop and the fused Python loop serves as the twin;
+        # the transcription itself stays reachable via ``FORCE_PURE``.
+        assert not jitloop.jit_active()
+        assert jitloop._fused_loop is jitloop._fused_loop_py
+
+    @pytest.mark.skipif(
+        not jitloop.JIT_ENABLED, reason="numba not installed in this environment"
+    )
+    def test_with_numba_jitted_loop_is_selected(self):
+        assert jitloop.jit_active()
+        assert hasattr(jitloop._fused_loop, "py_func")
+        assert jitloop._fused_loop.py_func is jitloop._fused_loop_py
+
+    def test_force_pure_runs_the_transcription(self, small_trace):
+        _, trace = small_trace
+        saved = jitloop.FORCE_PURE
+        jitloop.FORCE_PURE = True
+        try:
+            assert jitloop.jit_active()
+            jitted = simulate_trace(
+                trace, OccupancyAwareSteering(), kernel="vectorized-jit"
+            )
+        finally:
+            jitloop.FORCE_PURE = saved
+        reference = simulate_trace(
+            trace, OccupancyAwareSteering(), kernel="interpreter"
+        )
+        assert jitted.as_dict() == reference.as_dict()
 
 
 class TestSimulateTraceKernelKnob:
