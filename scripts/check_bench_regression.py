@@ -34,7 +34,16 @@ any falls below its floor:
 * **jit speedup** (substrate suite) -- the numba-jitted inner loop versus
   the callback path (floor 2.0x).  The ``*_jit`` benchmarks only run where
   numba is installed; without it the headline is skipped with a note, never
-  silently passed off as measured.
+  silently passed off as measured,
+* **adaptive savings** -- the planned-vs-executed simulation-run ratio the
+  adaptive race scheduler records in ``test_race_adaptive``'s ``extra_info``
+  (floor 3.0x; the committed snapshot records 5.0x).  A *count* ratio, not a
+  wall-clock one, so machine speed cannot move it -- only a changed stopping
+  decision can, and
+* **adaptivity-off overhead** -- the wall-clock ratio of the hand-rolled
+  exhaustive grid over the adaptive machinery running the identical grid
+  with its stopping rule disabled (floor 0.9x to absorb CI noise; the
+  committed snapshot records >=1.0x).
 
 Name drift between a snapshot and the fresh run is reported both ways: a
 snapshot benchmark missing from the fresh run always warns, and when names
@@ -62,6 +71,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parents[1]
 SNAPSHOT_PATH = REPO_ROOT / "benchmarks" / "BENCH_engine.json"
 BENCH_FILE = REPO_ROOT / "benchmarks" / "test_engine_sweep.py"
+ADAPTIVE_BENCH_FILE = REPO_ROOT / "benchmarks" / "test_engine_adaptive.py"
 SUBSTRATE_SNAPSHOT_PATH = REPO_ROOT / "benchmarks" / "BENCH_substrate.json"
 
 #: The benchmark pair whose wall-clock ratio is the batching headline.
@@ -97,6 +107,18 @@ JIT_OP_SUBJECT = "test_simulator_throughput_op_jit"
 JIT_VC_BASELINE = "test_simulator_throughput_vc_callback"
 JIT_VC_SUBJECT = "test_simulator_throughput_vc_jit"
 MIN_JIT_SPEEDUP = 2.0
+
+#: The adaptive-savings headline: planned vs executed simulation runs of the
+#: racing campaign, read from the benchmark's recorded extra_info counts.
+ADAPTIVE_BENCH = "test_race_adaptive"
+MIN_ADAPTIVE_SAVINGS = 3.0
+
+#: The adaptivity-off no-regression pair: the adaptive machinery with its
+#: stopping rule disabled must not cost wall-clock over the hand-rolled
+#: exhaustive grid it replaces.
+ADAPTIVE_OFF_BASELINE = "test_replicated_manual_grid"
+ADAPTIVE_OFF_SUBJECT = "test_replicated_exhaustive_scheduler"
+MIN_ADAPTIVE_OFF_SPEEDUP = 0.9
 
 #: Exit code for a structurally broken bench JSON (fails CI unconditionally).
 SCHEMA_ERROR_EXIT = 2
@@ -143,13 +165,39 @@ def load_means(path: Path) -> dict:
     return means
 
 
+def load_extra_info(path: Path) -> dict:
+    """``{benchmark name: extra_info dict}`` from a pytest-benchmark JSON file.
+
+    Tolerant where :func:`load_means` is strict: ``extra_info`` is optional
+    per benchmark (older snapshots predate it), so entries without one simply
+    map to ``{}``.  Structural problems -- unreadable file, missing list,
+    nameless entries -- still raise :class:`SchemaError`.
+    """
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise SchemaError(f"{path}: cannot read bench JSON ({exc})") from exc
+    except json.JSONDecodeError as exc:
+        raise SchemaError(f"{path}: not valid JSON ({exc})") from exc
+    if not isinstance(data, dict) or not isinstance(data.get("benchmarks"), list):
+        raise SchemaError(f"{path}: missing the top-level 'benchmarks' list")
+    info = {}
+    for position, entry in enumerate(data["benchmarks"]):
+        if not isinstance(entry, dict) or not isinstance(entry.get("name"), str):
+            raise SchemaError(f"{path}: benchmarks[{position}] has no usable 'name'")
+        extra = entry.get("extra_info")
+        info[entry["name"]] = extra if isinstance(extra, dict) else {}
+    return info
+
+
 def run_fresh(output: Path) -> None:
-    """Produce a fresh benchmark JSON by running the sweep benchmarks."""
+    """Produce a fresh benchmark JSON by running the engine benchmarks."""
     command = [
         sys.executable,
         "-m",
         "pytest",
         str(BENCH_FILE),
+        str(ADAPTIVE_BENCH_FILE),
         "--benchmark-only",
         f"--benchmark-json={output}",
         "-q",
@@ -211,6 +259,47 @@ def check_headline(fresh: dict, baseline: str, subject: str, floor: float, label
     return 0
 
 
+def check_adaptive_savings(extra_info: dict) -> int:
+    """Print the planned-vs-executed run-count headline; return 1 on warning.
+
+    Unlike the wall-clock headlines this is a pure count ratio read from
+    ``test_race_adaptive``'s recorded ``extra_info`` -- machine speed cannot
+    move it, only a changed stopping decision can.  A racing benchmark that
+    ran without recording its counts is broken tooling, so that raises
+    :class:`SchemaError` rather than skipping.
+    """
+    if ADAPTIVE_BENCH not in extra_info:
+        print(f"note: adaptive-savings headline skipped ({ADAPTIVE_BENCH} not present)")
+        return 0
+    counts = extra_info[ADAPTIVE_BENCH]
+    try:
+        planned = int(counts["planned_runs"])
+        executed = int(counts["executed_runs"])
+    except (KeyError, TypeError, ValueError):
+        raise SchemaError(
+            f"{ADAPTIVE_BENCH} ran without usable planned_runs/executed_runs "
+            f"extra_info (got {counts!r})"
+        )
+    if executed <= 0 or planned < executed:
+        raise SchemaError(
+            f"{ADAPTIVE_BENCH} recorded impossible run counts: "
+            f"planned={planned}, executed={executed}"
+        )
+    savings = planned / executed
+    print(
+        f"adaptive-savings run ratio: {savings:.2f}x "
+        f"({planned} planned / {executed} executed, floor {MIN_ADAPTIVE_SAVINGS:.2f}x)"
+    )
+    if savings < MIN_ADAPTIVE_SAVINGS:
+        print(
+            f"WARNING: adaptive savings {savings:.2f}x fell below the "
+            f"{MIN_ADAPTIVE_SAVINGS:.2f}x floor -- the racing scheduler is "
+            "executing more of the grid than the reference stopping decisions"
+        )
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -256,11 +345,13 @@ def main(argv=None) -> int:
         snapshot = load_means(args.snapshot)
         if args.fresh is not None:
             fresh = load_means(args.fresh)
+            fresh_extra = load_extra_info(args.fresh)
         else:
             with tempfile.TemporaryDirectory() as tmp:
                 fresh_path = Path(tmp) / "fresh.json"
                 run_fresh(fresh_path)
                 fresh = load_means(fresh_path)
+                fresh_extra = load_extra_info(fresh_path)
         substrate_snapshot = substrate_fresh = None
         if args.substrate_fresh is not None:
             substrate_snapshot = load_means(args.substrate_snapshot)
@@ -278,6 +369,18 @@ def main(argv=None) -> int:
     warnings += check_headline(
         fresh, SHM_BASELINE, SHM_SUBJECT, MIN_SHM_SPEEDUP, "shared-memory-vs-pickle"
     )
+    warnings += check_headline(
+        fresh,
+        ADAPTIVE_OFF_BASELINE,
+        ADAPTIVE_OFF_SUBJECT,
+        MIN_ADAPTIVE_OFF_SPEEDUP,
+        "adaptivity-off-overhead",
+    )
+    try:
+        warnings += check_adaptive_savings(fresh_extra)
+    except SchemaError as exc:
+        print(f"SCHEMA ERROR: {exc}")
+        return SCHEMA_ERROR_EXIT
 
     if substrate_fresh is not None:
         print()

@@ -81,6 +81,16 @@ engine (:mod:`repro.engine`) and accepts three knobs:
     engine shuts down; reports end with a ``[shm] segments=... bytes=...``
     footer when segments were used.  Bit-identical to ``--no-shared-mem``
     (the pickle path).
+
+``--adaptive`` / ``--no-adaptive``
+    Early stopping for the statistical scenarios (``replicated`` / ``race``
+    / ``crossover`` report kinds, see :mod:`repro.scenarios.adaptive`).
+    The default follows the scenario's declared stopping rule;
+    ``--no-adaptive`` runs the exhaustive grid and *replays* the stopping
+    decisions, so the report tables are byte-identical either way -- only
+    the number of simulation runs paid for differs.  Adaptive runs end
+    with an ``[adaptive] planned=... executed=...`` footer.  Scenarios
+    without a stopping rule ignore both flags.
 """
 
 from __future__ import annotations
@@ -189,13 +199,20 @@ def _engine_footer(engine: ParallelRunner) -> str:
     if engine.batching:
         batch_stats = engine.batch_stats
         if batch_stats["jobs"] > 0:
-            # The counters are kept consistent by the engine:
-            # configs == executed + cached in every scheduling combination.
+            # The counters are kept consistent by the engine: configs ==
+            # executed + cached + cancelled in every scheduling combination.
+            # The cancelled field appears only when something was cancelled,
+            # so non-adaptive footers are unchanged.
+            cancelled = (
+                f"cancelled={batch_stats['cancelled_jobs']} "
+                if batch_stats["cancelled_jobs"] > 0
+                else ""
+            )
             footer += (
                 f"[batch] traces={batch_stats['batches']} configs={batch_stats['jobs']} "
                 f"executed={batch_stats['executed_jobs']} cached={batch_stats['cached_jobs']} "
                 f"max-width={batch_stats['max_width']} "
-                f"fully-cached-batches={batch_stats['cached_batches']}  "
+                f"fully-cached-batches={batch_stats['cached_batches']} {cancelled} "
                 "(each batch runs all configurations of one trace; "
                 "--no-batch restores per-job scheduling)\n"
             )
@@ -206,6 +223,21 @@ def _engine_footer(engine: ParallelRunner) -> str:
             f"published={shm_stats['published']} reused={shm_stats['reused']}  "
             "(compiled traces resident in shared memory; workers attach "
             "zero-copy; --no-shared-mem restores the pickle path)\n"
+        )
+    adaptive = engine.adaptive_stats
+    if adaptive["planned"] > 0:
+        # Recorded only by enabled stopping rules, so --no-adaptive runs
+        # (and every non-statistical scenario) keep their footers unchanged.
+        footer += (
+            f"[adaptive] planned={adaptive['planned']} "
+            f"executed={adaptive['executed']} "
+            f"saved={adaptive['planned'] - adaptive['executed']} "
+            f"resolved={adaptive['stop_resolved']} "
+            f"retired={adaptive['stop_retired']} tied={adaptive['stop_tied']} "
+            f"won={adaptive['stop_won']} capped={adaptive['stop_capped']} "
+            f"bisected={adaptive['stop_bisected']}  "
+            "(stopping rules retire runs once the report is resolved; "
+            "--no-adaptive pays for the full grid, same tables)\n"
         )
     return footer
 
@@ -297,6 +329,21 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
         action="store_false",
         help="ship traces over the classic pickle path instead of shared memory",
     )
+    parser.add_argument(
+        "--adaptive",
+        dest="adaptive",
+        action="store_true",
+        default=None,
+        help="force early stopping on for statistical scenarios (default: "
+        "follow the scenario's declared stopping rule)",
+    )
+    parser.add_argument(
+        "--no-adaptive",
+        dest="adaptive",
+        action="store_false",
+        help="run the exhaustive grid and replay the stopping decisions "
+        "(byte-identical tables, every run paid for)",
+    )
 
 
 def _add_common_options(
@@ -344,7 +391,7 @@ def _execute_spec(spec: ScenarioSpec, args: argparse.Namespace) -> str:
         raise SystemExit(f"invalid scenario {spec.name!r}: {exc}")
     engine = _engine(args)
     try:
-        report = run_scenario(spec, engine)
+        report = run_scenario(spec, engine, adaptive=getattr(args, "adaptive", None))
     except (ValueError, TypeError) as exc:
         raise SystemExit(f"cannot run scenario {spec.name!r}: {exc}")
     finally:

@@ -28,10 +28,24 @@ the cache-replay path:
     phase traces instead of regenerating them; every configuration of a
     phase shares one artifact.
 
-``RunPlan`` / ``JobBatch`` (:mod:`repro.engine.batch`)
+``RunPlan`` / ``JobBatch`` / ``RoundTask`` (:mod:`repro.engine.batch`)
     The batch-scheduling layer: a run's jobs partitioned into one batch per
     distinct trace key (deterministic order, job order preserved), so fixed
     per-trace costs are paid once per trace instead of once per job.
+    ``RoundTask`` narrows a plan to its still-pending jobs -- the round
+    work units the runner executes and the adaptive scheduler cancels
+    against.
+
+Adaptive stopping rules (:mod:`repro.engine.adaptive`)
+    Pure decision layer for adaptive sweeps: streaming
+    :class:`~repro.engine.adaptive.Welford` statistics feed Student-t
+    confidence intervals, and three drivers -- :func:`~repro.engine.adaptive.run_ci`
+    (stop replicating once a figure is resolved),
+    :func:`~repro.engine.adaptive.run_race` (retire configurations whose
+    paired gap to the leader is resolved) and
+    :func:`~repro.engine.adaptive.run_bisection` (locate a crossover with
+    O(log n) axis probes) -- decide *what to sample next* as pure functions
+    of already-completed results, never of arrival timing.
 
 ``SharedTraceSegment`` / ``SegmentRegistry`` (:mod:`repro.engine.shm`)
     The shared-memory substrate: each distinct compiled trace published once
@@ -79,8 +93,22 @@ experiment command.
 
 from __future__ import annotations
 
+from repro.engine.adaptive import (
+    SUPPORTED_CONFIDENCE,
+    ZERO_ADAPTIVE_STATS,
+    BisectOutcome,
+    CIOutcome,
+    ConfigOutcome,
+    RaceOutcome,
+    Welford,
+    ci_halfwidth,
+    run_bisection,
+    run_ci,
+    run_race,
+    t_critical,
+)
 from repro.engine.artifacts import TRACE_ARTIFACT_VERSION, TraceArtifactStore
-from repro.engine.batch import JobBatch, RunPlan
+from repro.engine.batch import JobBatch, RoundTask, RunPlan
 from repro.engine.cache import ResultCache
 from repro.engine.job import CACHE_SCHEMA_VERSION, SimulationJob
 from repro.engine.parallel import (
@@ -103,19 +131,32 @@ __all__ = [
     "AUTO_TRACE_ROOT",
     "CACHE_SCHEMA_VERSION",
     "DEFAULT_TRACE_MEMO_CAP",
+    "SUPPORTED_CONFIDENCE",
     "TRACE_ARTIFACT_VERSION",
     "TRACE_MEMO_CAP_ENV",
+    "ZERO_ADAPTIVE_STATS",
+    "BisectOutcome",
+    "CIOutcome",
+    "ConfigOutcome",
     "JobBatch",
     "ParallelRunner",
+    "RaceOutcome",
     "ResultCache",
+    "RoundTask",
     "RunPlan",
     "SegmentRegistry",
     "SharedTraceSegment",
     "SimulationJob",
     "TraceArtifactStore",
+    "Welford",
     "WorkerPool",
+    "ci_halfwidth",
     "execute_batch",
     "execute_job",
     "resolve_trace_memo_cap",
+    "run_bisection",
+    "run_ci",
+    "run_race",
     "shared_memory_available",
+    "t_critical",
 ]

@@ -55,7 +55,7 @@ import os
 import warnings
 import weakref
 from collections import OrderedDict
-from concurrent.futures import as_completed
+from concurrent.futures import Future, as_completed
 from concurrent.futures.process import BrokenProcessPool
 from functools import partial
 from pathlib import Path
@@ -63,8 +63,9 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.cluster.metrics import SimulationMetrics
 from repro.cluster.processor import ClusteredProcessor
+from repro.engine.adaptive import ZERO_ADAPTIVE_STATS
 from repro.engine.artifacts import TraceArtifactStore
-from repro.engine.batch import RunPlan
+from repro.engine.batch import RoundTask, RunPlan
 from repro.engine.cache import ResultCache
 from repro.engine.job import SimulationJob
 from repro.engine.pool import WorkerPool
@@ -426,10 +427,12 @@ class ParallelRunner:
         self._worker_trace_stats: Dict[str, int] = dict(_ZERO_TRACE_STATS)
         #: Cumulative batch-scheduling counters across this runner's runs
         #: (the CLI ``[batch]`` footer): distinct traces, total jobs, widest
-        #: batch, how many jobs actually executed in batch tasks, and how
-        #: many batches/jobs the cache served outright.  The counters are
-        #: kept consistent: ``jobs == executed_jobs + cached_jobs`` always,
-        #: including partially cached batches.
+        #: batch, how many jobs actually executed in batch tasks, how many
+        #: batches/jobs the cache served outright, and how many jobs were
+        #: cancelled before starting (:meth:`cancel_pending`).  The counters
+        #: are kept consistent:
+        #: ``jobs == executed_jobs + cached_jobs + cancelled_jobs`` always,
+        #: including partially cached batches and aborted runs.
         self.batch_stats: Dict[str, int] = {
             "batches": 0,
             "jobs": 0,
@@ -437,7 +440,22 @@ class ParallelRunner:
             "executed_jobs": 0,
             "cached_batches": 0,
             "cached_jobs": 0,
+            "cancelled_jobs": 0,
         }
+        #: Adaptive-scheduler counters (the CLI ``[adaptive]`` footer),
+        #: recorded by the scenario layer's stopping-rule drivers -- the
+        #: runner only hosts them (like ``batch_stats``) so one object
+        #: carries every footer's numbers.  All zero unless an adaptive
+        #: scenario ran on this runner.
+        self.adaptive_stats: Dict[str, int] = dict(ZERO_ADAPTIVE_STATS)
+        #: In-flight futures of the current parallel run, shared with
+        #: :meth:`cancel_pending` so a consumer can retire queued batches
+        #: mid-stream.  Maps future -> (original job indices, segment trace
+        #: key or ``None`` on the pickle path).
+        self._active_futures: Dict[Future, Tuple[List[int], Optional[str]]] = {}
+        #: Set by :meth:`cancel_pending`; the inline (serial) batch loop
+        #: checks it between tasks, and :meth:`run_stream` resets it.
+        self._cancel_requested = False
         self._pool = WorkerPool(max_workers)
         self._segments: Optional[SegmentRegistry] = None
         #: Closed-over shared-memory counters that survive registry release
@@ -544,6 +562,50 @@ class ParallelRunner:
                 self._worker_trace_stats[name] += stats.get(name, 0)
         return result["dumps"]
 
+    # ----------------------------------------------------------- cancellation --
+    def _cancel_queued(self) -> int:
+        """Cancel every queued (not yet started) task of the current run.
+
+        Pops successfully cancelled futures from the active set, releases
+        their shared-memory references, and moves their jobs from
+        ``executed_jobs`` to ``cancelled_jobs`` so the footer invariant
+        ``jobs == executed_jobs + cached_jobs + cancelled_jobs`` holds even
+        for abandoned runs.  Returns the number of jobs cancelled.
+        """
+        cancelled = 0
+        for future in list(self._active_futures):
+            if future.cancel():
+                indices, trace_key = self._active_futures.pop(future)
+                if self._segments is not None and trace_key is not None:
+                    self._segments.release(trace_key)
+                cancelled += len(indices)
+        if cancelled:
+            self.batch_stats["executed_jobs"] -= cancelled
+            self.batch_stats["cancelled_jobs"] += cancelled
+        return cancelled
+
+    def cancel_pending(self) -> int:
+        """Cancel the current run's not-yet-executed batches.
+
+        Safe to call from the consumer of :meth:`run_stream` at any point
+        (including when no run is active -- then it is a no-op).  Queued
+        worker tasks are cancelled immediately; batches the inline serial
+        loop has not reached yet are skipped when the generator resumes.
+        Tasks already executing are never interrupted -- their results still
+        stream back, and their jobs stay accounted as executed.  Cancelled
+        jobs move from the ``executed`` to the ``cancelled`` footer counter,
+        so ``configs == executed + cached + cancelled`` stays true.
+
+        Returns the number of jobs whose worker tasks were retired
+        immediately (the serial loop's later skips are not included -- they
+        are accounted when the generator resumes).
+
+        The next :meth:`run_stream` call clears the request; cancellation
+        never outlives the run it was aimed at.
+        """
+        self._cancel_requested = True
+        return self._cancel_queued()
+
     # ------------------------------------------------------------- execution --
     def run(self, jobs: Sequence[SimulationJob]) -> List[SimulationMetrics]:
         """Execute ``jobs`` and return their metrics in the same order.
@@ -572,6 +634,7 @@ class ParallelRunner:
         index is yielded exactly once; :meth:`run` is a thin order-restoring
         wrapper over this.
         """
+        self._cancel_requested = False
         keys: List[Optional[str]] = [None] * len(jobs)
         if self.cache is not None:
             keys = [job.cache_key() for job in jobs]
@@ -619,18 +682,14 @@ class ParallelRunner:
         stats["batches"] += plan.num_traces
         stats["jobs"] += plan.num_jobs
         stats["max_width"] = max(stats["max_width"], plan.max_width)
-        pending_set = set(pending)
-        tasks: List[Tuple[List[int], Tuple[SimulationJob, ...]]] = []
-        for batch in plan.batches:
-            indices = [index for index in batch.indices if index in pending_set]
-            stats["cached_jobs"] += batch.width - len(indices)
-            if not indices:
+        tasks: List[RoundTask] = []
+        for task in plan.round_tasks(set(pending)):
+            stats["cached_jobs"] += task.cached
+            if not task.indices:
                 stats["cached_batches"] += 1
             else:
-                stats["executed_jobs"] += len(indices)
-                tasks.append(
-                    (indices, tuple(jobs[index] for index in indices))
-                )
+                stats["executed_jobs"] += task.width
+                tasks.append(task)
         if not tasks:
             return
         memo_cap = resolve_trace_memo_cap(self.trace_memo_cap, plan.mean_width)
@@ -638,21 +697,28 @@ class ParallelRunner:
             # Inline tasks hit this runner's own store, whose counters are
             # already reported by trace_stats(); absorbing their deltas too
             # would double-count, so read the dumps directly.
-            for indices, task_jobs in tasks:
+            for task in tasks:
+                if self._cancel_requested:
+                    # cancel_pending() was called between yields; the tasks
+                    # not reached yet are skipped and re-accounted, exactly
+                    # like cancelled worker futures.
+                    stats["executed_jobs"] -= task.width
+                    stats["cancelled_jobs"] += task.width
+                    continue
                 result = execute_batch(
-                    task_jobs,
+                    task.jobs,
                     trace_root=self.trace_root,
                     trace_store=self._trace_store,
                     memo_cap=memo_cap,
                 )
-                for index, dump in zip(indices, result["dumps"]):
+                for index, dump in zip(task.indices, result["dumps"]):
                     yield self._store_result(index, dump, keys)
             return
         yield from self._run_batched_parallel(tasks, keys, memo_cap)
 
     def _run_batched_parallel(
         self,
-        tasks: List[Tuple[List[int], Tuple[SimulationJob, ...]]],
+        tasks: List[RoundTask],
         keys: List[Optional[str]],
         memo_cap: int,
     ) -> Iterator[Tuple[int, SimulationMetrics]]:
@@ -665,6 +731,11 @@ class ParallelRunner:
         ``as_completed`` loop streams results; a worker crash discards the
         poisoned pool (no leaked executor processes) and surfaces as a clear
         error, and outstanding segment references are always released.
+
+        In-flight futures live in ``self._active_futures`` so
+        :meth:`cancel_pending` can retire queued tasks from the consumer
+        side; retired futures leave the map, and the completion loop skips
+        whatever :mod:`concurrent.futures` still reports for them.
         """
         use_shm = self._use_shared_memory()
         registry = self._segment_registry() if use_shm else None
@@ -677,23 +748,31 @@ class ParallelRunner:
             # keep their deterministic plan order.
             tasks = sorted(
                 tasks,
-                key=lambda task: registry.get(task[1][0].trace_key()) is None,
+                key=lambda task: registry.get(task.trace_key) is None,
             )
-        futures = {}
+        futures = self._active_futures
+        futures.clear()
         try:
-            for indices, task_jobs in tasks:
+            for task in tasks:
+                if self._cancel_requested:
+                    # cancel_pending() landed while this loop was publishing
+                    # or submitting; do not submit the rest.
+                    self.batch_stats["executed_jobs"] -= task.width
+                    self.batch_stats["cancelled_jobs"] += task.width
+                    continue
+                indices = list(task.indices)
                 if registry is not None:
-                    trace_key = task_jobs[0].trace_key()
+                    trace_key = task.trace_key
                     segment = registry.publish(
                         trace_key,
-                        lambda job=task_jobs[0]: _trace_for(
+                        lambda job=task.jobs[0]: _trace_for(
                             job, self.trace_root, self._trace_store, memo_cap
                         ),
                     )
                     registry.acquire(trace_key)
                     try:
                         future = self._pool.submit(
-                            _execute_segment_batch, task_jobs, segment.name
+                            _execute_segment_batch, task.jobs, segment.name
                         )
                     except BaseException:
                         # The task never existed, so the finally loop below
@@ -704,13 +783,16 @@ class ParallelRunner:
                 else:
                     future = self._pool.submit(
                         execute_batch,
-                        task_jobs,
+                        task.jobs,
                         trace_root=self.trace_root,
                         memo_cap=memo_cap,
                     )
                     futures[future] = (indices, None)
-            for future in as_completed(futures):
-                indices, _ = futures[future]
+            for future in as_completed(list(futures)):
+                entry = futures.get(future)
+                if entry is None:
+                    continue  # retired by cancel_pending() while queued
+                indices, _ = entry
                 dumps = self._absorb_task_result(future.result())
                 for index, dump in zip(indices, dumps):
                     yield self._store_result(index, dump, keys)
@@ -722,10 +804,13 @@ class ParallelRunner:
                 "incomplete)"
             ) from exc
         finally:
-            for future, (_, trace_key) in futures.items():
-                future.cancel()
+            # Retire whatever never started (keeps the footer invariant for
+            # abandoned runs), then drop references of the rest.
+            self._cancel_queued()
+            for _, trace_key in futures.values():
                 if registry is not None and trace_key is not None:
                     registry.release(trace_key)
+            futures.clear()
 
     def _run_per_job(
         self,

@@ -50,6 +50,9 @@ __all__ = [
     "MachineSpec",
     "SweepAxis",
     "ScenarioSpec",
+    "StoppingRule",
+    "PointSampler",
+    "replicate_profile",
     "builtin_scenario",
     "run_scenario",
     "REPORT_KINDS",
@@ -62,6 +65,9 @@ _LAZY = {
     "MachineSpec": "repro.scenarios.spec",
     "SweepAxis": "repro.scenarios.spec",
     "ScenarioSpec": "repro.scenarios.spec",
+    "StoppingRule": "repro.scenarios.spec",
+    "PointSampler": "repro.scenarios.adaptive",
+    "replicate_profile": "repro.scenarios.adaptive",
     "builtin_scenario": "repro.scenarios.builtin",
     "run_scenario": "repro.scenarios.runner",
     "REPORT_KINDS": "repro.scenarios.runner",

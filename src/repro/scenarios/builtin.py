@@ -13,7 +13,7 @@ from __future__ import annotations
 from repro.experiments.ablations import DEFAULT_ABLATION_BENCHMARKS
 from repro.experiments.configs import TABLE3_CONFIGURATIONS, table3_configurations, vc_variant
 from repro.scenarios.registry import SCENARIOS, register_scenario
-from repro.scenarios.spec import MachineSpec, ScenarioSpec, SweepAxis
+from repro.scenarios.spec import MachineSpec, ScenarioSpec, StoppingRule, SweepAxis
 
 
 def builtin_scenario(name: str) -> ScenarioSpec:
@@ -163,4 +163,54 @@ def sweep_issue_queue_size_scenario() -> ScenarioSpec:
                 fields=("iq_int_size", "iq_fp_size"),
             ),
         ),
+    )
+
+
+@register_scenario("adaptive-race")
+def adaptive_race_scenario() -> ScenarioSpec:
+    """Race every Table 3 configuration for the best steering policy.
+
+    Replications are shared seed blocks (common random numbers), so the
+    race retires clearly-worse configurations after a couple of paired
+    replications instead of paying the full 16-replication grid -- the
+    repository's adaptive-savings benchmark headline runs exactly this
+    scenario shape.
+    """
+    return ScenarioSpec(
+        name="adaptive-race",
+        report="race",
+        description="race Table 3 configurations for the best policy (adaptive)",
+        machine=MachineSpec(preset="table2-2c"),
+        benchmarks=DEFAULT_ABLATION_BENCHMARKS,
+        configurations=tuple(table3_configurations()),
+        trace_length=800,
+        replications=16,
+        stopping=StoppingRule(mode="race", min_replications=2, tie_margin=0.02),
+    )
+
+
+@register_scenario("crossover-link-latency")
+def crossover_link_latency_scenario() -> ScenarioSpec:
+    """Bisect for the link latency where load-balance-only steering loses.
+
+    OB steers purely for load balance (communication-oblivious), so its
+    cycles degrade steeply with inter-cluster link latency while the
+    unclustered baseline is flat -- somewhere along the axis, not
+    clustering at all becomes the better machine.  The bisection locates
+    that crossover with ``2 + O(log n)`` axis probes instead of the full
+    grid.
+    """
+    return ScenarioSpec(
+        name="crossover-link-latency",
+        report="crossover",
+        description="bisect the OB vs one-cluster crossover over link latency",
+        machine=MachineSpec(preset="table2-2c"),
+        benchmarks=("164.gzip-1", "181.mcf"),
+        configurations=(
+            TABLE3_CONFIGURATIONS["one-cluster"],
+            TABLE3_CONFIGURATIONS["OB"],
+        ),
+        trace_length=800,
+        sweep=(SweepAxis(parameter="link_latency", values=(4, 8, 16, 24, 32, 48, 64)),),
+        stopping=StoppingRule(mode="bisect", axis="link_latency"),
     )

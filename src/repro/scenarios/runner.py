@@ -13,6 +13,12 @@ built-in kinds cover the paper's evaluation and the generic cases:
 ``sweep``
     Grid-expand the spec's sweep axes and aggregate each point over the
     benchmark set (the ablation-sweep shape).
+``replicated`` / ``race`` / ``crossover``
+    The statistical kinds (:mod:`repro.scenarios.adaptive`): replicated
+    estimation with CI stopping, configuration racing, and crossover
+    bisection, all honouring the spec's
+    :class:`~repro.scenarios.spec.StoppingRule` (and the ``adaptive``
+    argument below).
 
 Custom kinds can be registered with ``@REPORT_KINDS.register("my-kind")``;
 a kind is a callable ``(spec, engine) -> str`` returning the report text
@@ -21,6 +27,7 @@ a kind is a callable ``(spec, engine) -> str`` returning the report text
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Dict, List, Optional, Sequence
 
 from repro.engine.cache import ResultCache
@@ -35,8 +42,10 @@ from repro.experiments.table1 import run_table1
 from repro.scenarios.registry import Registry
 from repro.scenarios.spec import ScenarioSpec
 
-#: Report kinds: ``name -> (spec, engine) -> str``.
-REPORT_KINDS = Registry("report kind")
+#: Report kinds: ``name -> (spec, engine) -> str``.  The adaptive kinds
+#: live in their own module (it imports this one for the registry, so it
+#: loads lazily on first lookup).
+REPORT_KINDS = Registry("report kind", builtin_modules=("repro.scenarios.adaptive",))
 
 
 def run_scenario(
@@ -47,6 +56,7 @@ def run_scenario(
     trace_dir: Optional[str] = AUTO_TRACE_ROOT,
     batching: bool = True,
     shared_memory: Optional[bool] = None,
+    adaptive: Optional[bool] = None,
 ) -> str:
     """Execute ``spec`` and return its report text.
 
@@ -75,7 +85,16 @@ def run_scenario(
         Publish compiled traces into shared-memory segments for parallel
         batched runs (``None`` = where available, the default); results are
         bit-identical either way.
+    adaptive:
+        Override the spec's :class:`~repro.scenarios.spec.StoppingRule`
+        enablement (the CLI's ``--adaptive`` / ``--no-adaptive``): ``False``
+        runs the exhaustive grid and *replays* the stopping decisions
+        (byte-identical report, every run paid for), ``True`` forces early
+        stopping on, ``None`` (default) leaves the spec's declaration as
+        is.  Ignored for scenarios without a stopping rule.
     """
+    if adaptive is not None and spec.stopping is not None:
+        spec = replace(spec, stopping=replace(spec.stopping, enabled=adaptive))
     owned = engine is None
     if engine is None:
         cache = ResultCache(cache_dir) if cache_dir is not None else None

@@ -142,6 +142,97 @@ class SweepAxis:
         )
 
 
+#: Stopping-rule modes understood by the adaptive report kinds.
+_STOPPING_MODES = ("ci", "race", "bisect")
+
+
+@dataclass(frozen=True)
+class StoppingRule:
+    """Declarative early-stopping rule for replicated scenarios.
+
+    Interpreted by the adaptive report kinds (``"replicated"``, ``"race"``,
+    ``"crossover"``; see :mod:`repro.scenarios.adaptive`):
+
+    Parameters
+    ----------
+    mode:
+        ``"ci"`` (stop each configuration once its confidence interval is
+        tight enough), ``"race"`` (retire configurations that cannot win the
+        ranking) or ``"bisect"`` (bisect the sweep axis for a crossover
+        instead of grid-expanding it).
+    enabled:
+        ``False`` runs the exhaustive grid but still *replays* the stopping
+        decisions over the sampled-value prefixes, so the printed tables are
+        byte-identical to the adaptive run (the CLI's ``--no-adaptive``).
+    confidence:
+        Two-sided confidence level of every interval; one of the committed
+        critical-value tables (0.90 / 0.95 / 0.99).
+    min_replications:
+        Replications every configuration samples before any decision
+        (at least 2 -- an interval needs a variance estimate).
+    rel_precision:
+        ``"ci"`` mode: stop once the half-width is at most this fraction of
+        the running mean.
+    tie_margin:
+        ``"race"`` mode: racers whose paired difference to the leader lies
+        entirely within this fraction of the leader's mean are declared tied
+        and stop sampling (0 disables tie detection).
+    axis:
+        ``"bisect"`` mode: the swept parameter to bisect (defaults to the
+        scenario's only sweep axis).
+    """
+
+    mode: str
+    enabled: bool = True
+    confidence: float = 0.95
+    min_replications: int = 2
+    rel_precision: float = 0.01
+    tie_margin: float = 0.0
+    axis: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        from repro.engine.adaptive import SUPPORTED_CONFIDENCE
+
+        if self.mode not in _STOPPING_MODES:
+            raise ValueError(
+                f"unknown stopping mode {self.mode!r}; expected one of {_STOPPING_MODES}"
+            )
+        if self.confidence not in SUPPORTED_CONFIDENCE:
+            raise ValueError(
+                f"confidence {self.confidence!r} has no committed critical-value "
+                f"table; supported: {SUPPORTED_CONFIDENCE}"
+            )
+        if self.min_replications < 2:
+            raise ValueError("min_replications must be at least 2")
+        if self.rel_precision <= 0:
+            raise ValueError("rel_precision must be positive")
+        if self.tie_margin < 0:
+            raise ValueError("tie_margin must be non-negative")
+
+    def to_dict(self) -> Dict[str, object]:
+        data: Dict[str, object] = {"mode": self.mode}
+        for field_spec in fields(self):
+            if field_spec.name == "mode":
+                continue
+            value = getattr(self, field_spec.name)
+            if value != field_spec.default:
+                data[field_spec.name] = value
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "StoppingRule":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown stopping-rule fields {sorted(unknown)}; expected a "
+                f"subset of {sorted(known)}"
+            )
+        if "mode" not in data:
+            raise ValueError("a stopping rule needs a 'mode'")
+        return cls(**{name: data[name] for name in known if name in data})
+
+
 @dataclass(frozen=True)
 class ScenarioSpec:
     """One declaratively described experiment.
@@ -172,6 +263,17 @@ class ScenarioSpec:
     sweep:
         Sweep axes, grid-expanded by :meth:`expand_sweep` (used by the
         ``"sweep"`` report kind).
+    replications:
+        Seed blocks per configuration: replication ``r`` re-runs the whole
+        benchmark set with every profile's ``base_seed`` shifted by the
+        r-th seed-block stride, so replications are independent end-to-end
+        samples of the same experiment (replication 0 is the unshifted
+        profile, sharing traces and cache entries with non-replicated
+        scenarios).  Used by the statistical report kinds (``"replicated"``,
+        ``"race"``, ``"crossover"``).
+    stopping:
+        Optional :class:`StoppingRule` declaring how the statistical report
+        kinds may stop sampling early.
     """
 
     name: str
@@ -185,6 +287,8 @@ class ScenarioSpec:
     max_phases: int = 1
     region_size: int = 128
     sweep: Tuple[SweepAxis, ...] = ()
+    replications: int = 1
+    stopping: Optional[StoppingRule] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "benchmarks", tuple(self.benchmarks))
@@ -194,6 +298,8 @@ class ScenarioSpec:
         duplicates = {name for name in names if names.count(name) > 1}
         if duplicates:
             raise ValueError(f"duplicate configuration names: {sorted(duplicates)}")
+        if self.replications < 1:
+            raise ValueError("replications must be at least 1")
 
     # -- execution-facing views --------------------------------------------------
     def settings(self) -> ExperimentSettings:
@@ -277,8 +383,12 @@ class ScenarioSpec:
 
     # -- serialization -----------------------------------------------------------
     def to_dict(self) -> Dict[str, object]:
-        """Lossless JSON-compatible dump (``from_dict`` round-trips exactly)."""
-        return {
+        """Lossless JSON-compatible dump (``from_dict`` round-trips exactly).
+
+        The statistical fields (``replications``/``stopping``) are emitted
+        only when set, so pre-existing scenario files stay byte-identical.
+        """
+        data: Dict[str, object] = {
             "name": self.name,
             "report": self.report,
             "description": self.description,
@@ -293,6 +403,11 @@ class ScenarioSpec:
             "region_size": self.region_size,
             "sweep": [axis.to_dict() for axis in self.sweep],
         }
+        if self.replications != 1:
+            data["replications"] = self.replications
+        if self.stopping is not None:
+            data["stopping"] = self.stopping.to_dict()
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "ScenarioSpec":
@@ -312,7 +427,8 @@ class ScenarioSpec:
             raise ValueError("a scenario needs a 'name'")
         kwargs: Dict[str, object] = {"name": data["name"]}
         for field_name in ("report", "description", "num_virtual_clusters",
-                           "trace_length", "max_phases", "region_size"):
+                           "trace_length", "max_phases", "region_size",
+                           "replications"):
             if field_name in data:
                 kwargs[field_name] = data[field_name]
         if "machine" in data:
@@ -325,6 +441,8 @@ class ScenarioSpec:
             )
         if "sweep" in data:
             kwargs["sweep"] = tuple(SweepAxis.from_dict(entry) for entry in data["sweep"])
+        if data.get("stopping") is not None:
+            kwargs["stopping"] = StoppingRule.from_dict(data["stopping"])
         return cls(**kwargs)
 
     def to_json(self, indent: int = 2) -> str:

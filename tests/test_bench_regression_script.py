@@ -20,16 +20,14 @@ cbr = importlib.util.module_from_spec(spec)
 spec.loader.exec_module(cbr)
 
 
-def bench_json(path: Path, means: dict) -> Path:
-    path.write_text(
-        json.dumps(
-            {
-                "benchmarks": [
-                    {"name": name, "stats": {"mean": mean}} for name, mean in means.items()
-                ]
-            }
-        )
-    )
+def bench_json(path: Path, means: dict, extra: dict | None = None) -> Path:
+    entries = []
+    for name, mean in means.items():
+        entry = {"name": name, "stats": {"mean": mean}}
+        if extra and name in extra:
+            entry["extra_info"] = extra[name]
+        entries.append(entry)
+    path.write_text(json.dumps({"benchmarks": entries}))
     return path
 
 
@@ -112,6 +110,68 @@ class TestNameDrift:
         slowed = {name: mean * 2.0 for name, mean in GOOD.items()}
         fresh = bench_json(tmp_path / "fresh.json", slowed)
         assert cbr.main(["--snapshot", str(snap), "--fresh", str(fresh), "--strict"]) == 1
+
+
+class TestAdaptiveHeadlines:
+    def _run(self, tmp_path, means, extra=None):
+        snap = bench_json(tmp_path / "snap.json", means, extra)
+        return cbr.main(["--snapshot", str(snap), "--fresh", str(snap), "--strict"])
+
+    def test_savings_headline_skipped_without_race_benchmark(self, tmp_path, capsys):
+        assert self._run(tmp_path, GOOD) == 0
+        assert "adaptive-savings headline skipped" in capsys.readouterr().out
+
+    def test_savings_above_floor_passes(self, tmp_path, capsys):
+        means = dict(GOOD, **{cbr.ADAPTIVE_BENCH: 0.8})
+        extra = {cbr.ADAPTIVE_BENCH: {"planned_runs": 200, "executed_runs": 40}}
+        assert self._run(tmp_path, means, extra) == 0
+        out = capsys.readouterr().out
+        assert "adaptive-savings run ratio: 5.00x" in out
+        assert "200 planned / 40 executed" in out
+
+    def test_savings_below_floor_warns(self, tmp_path, capsys):
+        # The scheduler stopped retiring racers: it now executes most of the
+        # grid and the count-ratio headline collapses below 3x.
+        means = dict(GOOD, **{cbr.ADAPTIVE_BENCH: 0.8})
+        extra = {cbr.ADAPTIVE_BENCH: {"planned_runs": 200, "executed_runs": 150}}
+        assert self._run(tmp_path, means, extra) == 1
+        assert "WARNING: adaptive savings 1.33x" in capsys.readouterr().out
+
+    @pytest.mark.parametrize(
+        "counts",
+        [
+            {},
+            {"planned_runs": 200},
+            {"planned_runs": "many", "executed_runs": 40},
+            {"planned_runs": 200, "executed_runs": 0},
+            {"planned_runs": 40, "executed_runs": 200},
+        ],
+        ids=["no-counts", "missing-executed", "non-numeric", "zero-executed", "inverted"],
+    )
+    def test_broken_race_counts_exit_2(self, tmp_path, counts):
+        # The race benchmark ran but its counts are unusable: broken tooling,
+        # not machine variance, so it fails hard even without --strict.
+        means = dict(GOOD, **{cbr.ADAPTIVE_BENCH: 0.8})
+        snap = bench_json(tmp_path / "snap.json", means, {cbr.ADAPTIVE_BENCH: counts})
+        assert cbr.main(["--snapshot", str(snap), "--fresh", str(snap)]) == 2
+
+    def test_adaptivity_off_above_floor_passes(self, tmp_path, capsys):
+        means = dict(
+            GOOD,
+            **{cbr.ADAPTIVE_OFF_BASELINE: 0.22, cbr.ADAPTIVE_OFF_SUBJECT: 0.20},
+        )
+        assert self._run(tmp_path, means) == 0
+        assert "adaptivity-off-overhead speedup: 1.10x" in capsys.readouterr().out
+
+    def test_adaptivity_off_below_floor_warns(self, tmp_path, capsys):
+        # The disabled-rule scheduler costing >10% over the hand-rolled grid
+        # means the scheduling layer grew real overhead.
+        means = dict(
+            GOOD,
+            **{cbr.ADAPTIVE_OFF_BASELINE: 0.20, cbr.ADAPTIVE_OFF_SUBJECT: 0.25},
+        )
+        assert self._run(tmp_path, means) == 1
+        assert "WARNING: adaptivity-off-overhead" in capsys.readouterr().out
 
 
 def substrate_means(**overrides):

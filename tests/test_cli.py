@@ -215,6 +215,79 @@ class TestFooterConsistency:
         assert "[batch]" not in out and "[shm]" not in out
 
 
+class TestAdaptiveOptions:
+    """The --adaptive/--no-adaptive flags and the [adaptive] footer."""
+
+    #: A small adaptive race scenario, written to disk per test.
+    RACE_SPEC = {
+        "name": "mini-race",
+        "report": "race",
+        "machine": "table2-2c",
+        "benchmarks": ["164.gzip-1", "178.galgel"],
+        "configurations": ["OP", "one-cluster", "OB"],
+        "trace_length": 500,
+        "max_phases": 1,
+        "replications": 4,
+        "stopping": {"mode": "race", "tie_margin": 0.02},
+    }
+
+    def _write_spec(self, tmp_path):
+        import json
+
+        path = tmp_path / "mini_race.json"
+        path.write_text(json.dumps(self.RACE_SPEC), encoding="utf-8")
+        return str(path)
+
+    def test_flags_parse_and_default_to_the_spec(self):
+        parser = build_parser()
+        assert parser.parse_args(["run", "quickstart"]).adaptive is None
+        assert parser.parse_args(["run", "quickstart", "--adaptive"]).adaptive is True
+        assert parser.parse_args(["run", "quickstart", "--no-adaptive"]).adaptive is False
+
+    def test_adaptive_footer_reports_the_savings(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        path = self._write_spec(tmp_path)
+        assert main(["run", path, "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "Race -- mini-race" in out
+        assert "[adaptive] planned=" in out
+        import re
+
+        match = re.search(r"\[adaptive\] planned=(\d+) executed=(\d+) saved=(\d+)", out)
+        assert match, f"no [adaptive] footer in: {out!r}"
+        planned, executed, saved = (int(group) for group in match.groups())
+        assert planned == executed + saved
+        assert executed < planned
+
+    def test_no_adaptive_prints_identical_tables_and_no_footer(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        """--no-adaptive pays for the full grid but prints the same report,
+        and its footers are indistinguishable from a pre-adaptive build."""
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        path = self._write_spec(tmp_path)
+        assert main(["run", path, "--no-cache"]) == 0
+        adaptive = capsys.readouterr().out
+        assert main(["run", path, "--no-cache", "--no-adaptive"]) == 0
+        exhaustive = capsys.readouterr().out
+        assert "[adaptive]" not in exhaustive
+
+        def tables(text):
+            return [
+                line for line in text.splitlines()
+                if not line.startswith(("[batch]", "[adaptive]", "[shm]", "[traces]"))
+            ]
+
+        assert tables(adaptive) == tables(exhaustive)
+
+    def test_non_adaptive_scenarios_never_print_the_footer(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        argv = ["quickstart", "--benchmark", "164.gzip-1", "--trace-length", "400",
+                "--no-cache"]
+        assert main(argv) == 0
+        assert "[adaptive]" not in capsys.readouterr().out
+
+
 class TestCacheDirResolution:
     """$REPRO_CACHE_DIR is read when the command runs, not at import time."""
 

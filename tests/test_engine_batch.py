@@ -470,6 +470,7 @@ class TestTraceStatsAggregation:
             "executed_jobs": 6,
             "cached_batches": 0,
             "cached_jobs": 0,
+            "cancelled_jobs": 0,
         }
 
 

@@ -26,7 +26,7 @@ from repro.scenarios.registry import (
     build_policy,
 )
 from repro.scenarios.runner import REPORT_KINDS, run_scenario
-from repro.scenarios.spec import MachineSpec, ScenarioSpec, SweepAxis
+from repro.scenarios.spec import MachineSpec, ScenarioSpec, StoppingRule, SweepAxis
 
 #: Small settings so scenario tests stay fast.
 SMALL = {"benchmarks": ("164.gzip-1", "178.galgel"), "trace_length": 700, "max_phases": 1}
@@ -200,6 +200,68 @@ class TestScenarioSpecSerialization:
 
         path = Path(__file__).resolve().parents[1] / "examples" / "figure5.json"
         assert ScenarioSpec.from_file(path) == builtin_scenario("figure5")
+
+    def test_examples_adaptive_jsons_match_builtins(self):
+        from pathlib import Path
+
+        examples = Path(__file__).resolve().parents[1] / "examples"
+        assert ScenarioSpec.from_file(
+            examples / "adaptive_race.json"
+        ) == builtin_scenario("adaptive-race")
+        assert ScenarioSpec.from_file(
+            examples / "crossover_link_latency.json"
+        ) == builtin_scenario("crossover-link-latency")
+
+    def test_statistical_fields_stay_out_of_plain_specs(self):
+        """Pre-adaptive scenario files keep their byte layout: replications
+        and stopping are emitted only when non-default."""
+        plain = builtin_scenario("figure5").to_dict()
+        assert "replications" not in plain and "stopping" not in plain
+        race = builtin_scenario("adaptive-race").to_dict()
+        assert race["replications"] == 16
+        assert race["stopping"]["mode"] == "race"
+
+
+class TestStoppingRuleSerialization:
+    def test_round_trip_preserves_non_defaults(self):
+        rule = StoppingRule(
+            mode="race", enabled=False, confidence=0.99,
+            min_replications=3, tie_margin=0.05,
+        )
+        assert StoppingRule.from_dict(rule.to_dict()) == rule
+
+    def test_defaults_are_omitted_from_the_dict(self):
+        assert StoppingRule(mode="ci").to_dict() == {"mode": "ci"}
+        assert StoppingRule(mode="bisect", axis="link_latency").to_dict() == {
+            "mode": "bisect", "axis": "link_latency",
+        }
+
+    def test_spec_round_trips_replications_and_stopping(self):
+        spec = ScenarioSpec(
+            name="adaptive",
+            report="replicated",
+            configurations=(TABLE3_CONFIGURATIONS["OP"],),
+            replications=8,
+            stopping=StoppingRule(mode="ci", rel_precision=0.02),
+        )
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="unknown stopping mode"):
+            StoppingRule(mode="flip-a-coin")
+        with pytest.raises(ValueError, match="no committed critical-value table"):
+            StoppingRule(mode="ci", confidence=0.8)
+        with pytest.raises(ValueError, match="min_replications"):
+            StoppingRule(mode="ci", min_replications=1)
+        with pytest.raises(ValueError, match="rel_precision"):
+            StoppingRule(mode="ci", rel_precision=0.0)
+        with pytest.raises(ValueError, match="tie_margin"):
+            StoppingRule(mode="race", tie_margin=-0.1)
+        with pytest.raises(ValueError, match="needs a 'mode'"):
+            StoppingRule.from_dict({})
+        with pytest.raises(ValueError, match="replications must be at least 1"):
+            ScenarioSpec(name="x", replications=0)
 
 
 class TestSweepExpansion:
