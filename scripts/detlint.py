@@ -1,9 +1,11 @@
 #!/usr/bin/env python
 """Run the determinism lint from a checkout without installing the package.
 
-Equivalent to ``PYTHONPATH=src python -m repro.analysis``; see
-``python scripts/detlint.py --list-rules`` for the rule catalogue and
-DESIGN.md §7 for the hazard classes behind it.
+Compatibility shim over the detlint pass only -- equivalent to
+``PYTHONPATH=src python -m repro.analysis --pass detlint``.  The multi-pass
+front end (detlint + parlint + lifelint) is ``python -m repro.analysis``;
+see ``python scripts/detlint.py --list-rules`` for the detlint rule
+catalogue and DESIGN.md §7 for the framework behind it.
 """
 
 import sys

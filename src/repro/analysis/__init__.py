@@ -10,10 +10,20 @@
   resource contention in the intended cluster").
 * :mod:`repro.analysis.stats` -- descriptive statistics of DDGs and programs
   used by reports, tests and the workload generator's self-checks.
-* :mod:`repro.analysis.detlint` -- the determinism lint: repo-wide static
-  checks for the hazards that break the bit-identity contract (DESIGN.md
-  §7).  Run it as ``python -m repro.analysis`` or ``repro analyze``; it is
-  not imported eagerly here so the numeric analyses stay side-effect free.
+* :mod:`repro.analysis.framework` -- the static-analysis framework: shared
+  findings, suppressions, fingerprint baseline and CLI for the repo-wide
+  lint passes (DESIGN.md §7).  Run them as ``python -m repro.analysis`` or
+  ``repro analyze --pass <name>``:
+
+  - :mod:`repro.analysis.detlint` (DET1xx) -- determinism hazards that
+    break the bit-identity contract.
+  - :mod:`repro.analysis.parlint` (PAR2xx) -- kernel-twin / lowering
+    consistency across the fused dispatch, the jit twin and ``SPEC_FORMS``.
+  - :mod:`repro.analysis.lifelint` (RES3xx) -- resource lifecycles in the
+    shm/pool substrate.
+
+  None of these are imported eagerly here so the numeric analyses stay
+  side-effect free.
 """
 
 from repro.analysis.completion_time import CompletionTimeEstimator

@@ -1,10 +1,10 @@
-"""Command-line front end for the determinism lint.
+"""Command-line front end for the determinism lint, detlint only.
 
-Exposed three ways, all sharing :func:`main`:
-
-* ``python -m repro.analysis [paths...]``
-* ``scripts/detlint.py`` (path-bootstrapping wrapper for checkouts)
-* ``repro analyze`` (the main CLI, with the usual footer reporting)
+This is the PR 7 single-pass CLI, kept byte-compatible for
+``scripts/detlint.py`` and existing callers.  The multi-pass front end
+(detlint + parlint + lifelint, ``--pass`` selection, ``--format github``,
+``--prune-baseline``) lives in :mod:`repro.analysis.framework` and backs
+``python -m repro.analysis`` and ``repro analyze``.
 
 Exit codes: ``0`` no fresh findings, ``1`` fresh findings, ``2`` usage or
 scan errors (unparseable file, broken baseline).  Strict mode ignores the

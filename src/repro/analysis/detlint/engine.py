@@ -1,53 +1,46 @@
-"""Scanning, suppression and baseline machinery around the rule set.
+"""detlint's scanning surface, now hosted by the analysis framework.
 
-The workflow this supports (DESIGN.md §7):
-
-* ``scan_paths`` walks files/directories, runs :func:`~repro.analysis.
-  detlint.rules.check_module` on every ``.py`` file and classifies each
-  finding as **fresh**, **suppressed** (an inline ``# detlint: ok <RULE>``
-  comment on the offending line) or **baselined** (its fingerprint appears in
-  the committed baseline file).
-* Fingerprints hash the *content* of the offending line, not its number, so
-  unrelated edits above a grandfathered finding do not resurrect it; a
-  per-content occurrence index keeps duplicate lines distinct.
-* Strict mode disables the baseline entirely: every unsuppressed finding
-  fails.  CI runs strict with an empty baseline, which is the end state this
-  repo maintains -- the baseline exists so a *future* rule addition can land
-  before its grandfathered findings are burned down.
+PR 7 built the suppression/fingerprint/baseline machinery here; PR 10
+generalized it into :mod:`repro.analysis.framework` so parlint and lifelint
+share it.  This module keeps detlint's original programmatic API --
+``scan_paths(paths, baseline, strict)``, ``suppressed_rules(line)``,
+``Baseline``, ``fingerprint`` -- as thin delegations that run exactly the
+detlint pass, so PR 7 callers and tests see identical behavior.  See
+DESIGN.md §7 for the framework model (fresh / suppressed / baselined,
+content-addressed fingerprints, strict mode).
 """
 
 from __future__ import annotations
 
-import hashlib
-import json
-import re
-from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
-from repro.analysis.detlint.rules import RULES_BY_ID, Finding, check_module
+from repro.analysis.framework import (
+    BASELINE_FILENAME,
+    BASELINE_VERSION,
+    Baseline,
+    ClassifiedFinding,
+    ScanResult,
+    find_default_baseline,
+    fingerprint,
+    parse_suppression,
+)
+from repro.analysis.framework import scan_file as _framework_scan_file
+from repro.analysis.framework import scan_paths as _framework_scan_paths
+from repro.analysis.detlint.rules import DETLINT_PASS
 
 __all__ = [
+    "BASELINE_FILENAME",
+    "BASELINE_VERSION",
     "Baseline",
     "ScanResult",
     "ClassifiedFinding",
+    "find_default_baseline",
+    "scan_file",
     "scan_paths",
     "suppressed_rules",
     "fingerprint",
 ]
-
-#: Inline suppression: ``# detlint: ok`` (all rules) or
-#: ``# detlint: ok DET103`` / ``# detlint: ok DET103, DET104``; anything
-#: after the rule list (a rationale) is ignored.
-_SUPPRESS_RE = re.compile(r"#\s*detlint:\s*ok(?P<rest>[^\n]*)")
-
-_RULE_TOKEN_RE = re.compile(r"[A-Z]+\d+$")
-
-#: Baseline file schema version.
-BASELINE_VERSION = 1
-
-#: Default baseline filename, looked up at each scan root's top level.
-BASELINE_FILENAME = "detlint-baseline.json"
 
 
 def suppressed_rules(line: str) -> Optional[frozenset]:
@@ -57,164 +50,15 @@ def suppressed_rules(line: str) -> Optional[frozenset]:
     for a bare ``# detlint: ok`` (suppress every rule) and the named ids
     otherwise.
     """
-    match = _SUPPRESS_RE.search(line)
-    if match is None:
-        return None
-    names = []
-    for token in match.group("rest").replace(",", " ").split():
-        if not _RULE_TOKEN_RE.match(token):
-            break  # rationale text starts here
-        names.append(token)
-    return frozenset(names)
-
-
-def fingerprint(path: str, rule: str, line_text: str, occurrence: int) -> str:
-    """Stable identity of a finding: content-addressed, line-number-free."""
-    normalized = " ".join(line_text.split())
-    payload = f"{path}::{rule}::{normalized}::{occurrence}".encode("utf-8")
-    return hashlib.sha256(payload).hexdigest()[:20]
-
-
-@dataclass
-class Baseline:
-    """The committed set of grandfathered finding fingerprints."""
-
-    path: Optional[Path] = None
-    fingerprints: frozenset = frozenset()
-
-    @classmethod
-    def load(cls, path: Path) -> "Baseline":
-        data = json.loads(path.read_text(encoding="utf-8"))
-        if not isinstance(data, dict) or int(data.get("version", -1)) != BASELINE_VERSION:
-            raise ValueError(
-                f"baseline {path} has unsupported schema "
-                f"(expected version {BASELINE_VERSION})"
-            )
-        entries = data.get("entries", [])
-        prints = frozenset(
-            entry["fingerprint"] if isinstance(entry, dict) else str(entry)
-            for entry in entries
-        )
-        return cls(path=path, fingerprints=prints)
-
-    @staticmethod
-    def write(path: Path, findings: Sequence["ClassifiedFinding"]) -> None:
-        """Persist ``findings`` as the new baseline (sorted, reviewable)."""
-        entries = sorted(
-            (
-                {
-                    "rule": item.finding.rule,
-                    "path": item.finding.path,
-                    "fingerprint": item.fingerprint,
-                }
-                for item in findings
-            ),
-            key=lambda entry: (entry["path"], entry["rule"], entry["fingerprint"]),
-        )
-        payload = {"version": BASELINE_VERSION, "entries": entries}
-        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
-
-
-@dataclass(frozen=True)
-class ClassifiedFinding:
-    """A finding plus its disposition (fresh / suppressed / baselined)."""
-
-    finding: Finding
-    fingerprint: str
-    status: str  # "fresh" | "suppressed" | "baselined"
-    line_text: str = ""
-
-
-@dataclass
-class ScanResult:
-    """Everything one scan produced, ready for reporting and exit codes."""
-
-    findings: List[ClassifiedFinding] = field(default_factory=list)
-    files_scanned: int = 0
-    errors: List[str] = field(default_factory=list)
-
-    @property
-    def fresh(self) -> List[ClassifiedFinding]:
-        return [item for item in self.findings if item.status == "fresh"]
-
-    @property
-    def suppressed(self) -> List[ClassifiedFinding]:
-        return [item for item in self.findings if item.status == "suppressed"]
-
-    @property
-    def baselined(self) -> List[ClassifiedFinding]:
-        return [item for item in self.findings if item.status == "baselined"]
-
-    def counts(self) -> Dict[str, int]:
-        return {
-            "files": self.files_scanned,
-            "findings": len(self.findings),
-            "fresh": len(self.fresh),
-            "suppressed": len(self.suppressed),
-            "baselined": len(self.baselined),
-            "errors": len(self.errors),
-        }
-
-
-def _iter_python_files(paths: Sequence[Path]) -> Iterable[Path]:
-    for path in paths:
-        if path.is_dir():
-            yield from sorted(path.rglob("*.py"))
-        elif path.suffix == ".py":
-            yield path
-
-
-def _module_name(file_path: Path) -> str:
-    """Best-effort dotted module name (for package-aware rules)."""
-    parts = list(file_path.with_suffix("").parts)
-    for marker in ("src",):
-        if marker in parts:
-            parts = parts[parts.index(marker) + 1:]
-            break
-    return ".".join(parts)
-
-
-def _relative(path: Path) -> str:
-    try:
-        return str(path.relative_to(Path.cwd()))
-    except ValueError:
-        return str(path)
+    suppression = parse_suppression(line, tag=DETLINT_PASS.name)
+    return None if suppression is None else suppression.rules
 
 
 def scan_file(
     file_path: Path, baseline: Optional[Baseline] = None
 ) -> Tuple[List[ClassifiedFinding], Optional[str]]:
-    """Scan one file; returns ``(classified findings, error message or None)``."""
-    rel = _relative(file_path)
-    try:
-        source = file_path.read_text(encoding="utf-8")
-        raw = check_module(source, rel, _module_name(file_path))
-    except (OSError, SyntaxError, ValueError) as exc:
-        return [], f"{rel}: {exc}"
-    lines = source.splitlines()
-    occurrences: Dict[Tuple[str, str], int] = {}
-    classified: List[ClassifiedFinding] = []
-    baseline_prints = baseline.fingerprints if baseline is not None else frozenset()
-    for finding in raw:
-        if finding.rule not in RULES_BY_ID:  # pragma: no cover - rule-table drift guard
-            continue
-        line_text = lines[finding.line - 1] if 0 < finding.line <= len(lines) else ""
-        normalized = " ".join(line_text.split())
-        occ_key = (finding.rule, normalized)
-        occurrence = occurrences.get(occ_key, 0)
-        occurrences[occ_key] = occurrence + 1
-        print_ = fingerprint(finding.path, finding.rule, line_text, occurrence)
-        suppression = suppressed_rules(line_text)
-        if suppression is not None and (not suppression or finding.rule in suppression):
-            status = "suppressed"
-        elif print_ in baseline_prints:
-            status = "baselined"
-        else:
-            status = "fresh"
-        classified.append(
-            ClassifiedFinding(finding, print_, status, line_text=line_text.strip())
-        )
-    return classified, None
+    """Scan one file with detlint; ``(classified findings, error or None)``."""
+    return _framework_scan_file(file_path, passes=(DETLINT_PASS,), baseline=baseline)
 
 
 def scan_paths(
@@ -222,31 +66,13 @@ def scan_paths(
     baseline: Optional[Baseline] = None,
     strict: bool = False,
 ) -> ScanResult:
-    """Scan ``paths`` (files and/or directory trees) against the rule set.
+    """Scan ``paths`` (files and/or directory trees) with the detlint pass.
 
     ``strict`` disables the baseline: grandfathered findings are classified
     as fresh (inline suppressions still apply -- they are visible, reviewed
-    decisions at the offending line, not a side file).
+    decisions at the offending line, not a side file -- but must carry a
+    rationale).
     """
-    result = ScanResult()
-    effective = None if strict else baseline
-    for file_path in _iter_python_files([Path(p) for p in paths]):
-        classified, error = scan_file(file_path, effective)
-        result.files_scanned += 1
-        if error is not None:
-            result.errors.append(error)
-        result.findings.extend(classified)
-    return result
-
-
-def find_default_baseline(paths: Sequence[Path]) -> Optional[Path]:
-    """The nearest committed baseline for ``paths``: cwd, then parents of each path."""
-    candidates = [Path.cwd() / BASELINE_FILENAME]
-    for path in paths:
-        resolved = Path(path).resolve()
-        for parent in [resolved, *resolved.parents]:
-            candidates.append(parent / BASELINE_FILENAME)
-    for candidate in candidates:
-        if candidate.is_file():
-            return candidate
-    return None
+    return _framework_scan_paths(
+        paths, passes=(DETLINT_PASS,), baseline=baseline, strict=strict
+    )

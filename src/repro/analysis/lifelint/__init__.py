@@ -1,0 +1,16 @@
+"""lifelint: resource-lifecycle checks for the shm/pool substrate (RES3xx).
+
+Registered as an analysis-framework pass; run it via ``repro analyze --pass
+lifelint`` (or ``python -m repro.analysis --pass lifelint``).  See
+:mod:`repro.analysis.lifelint.rules` for the rule catalogue and DESIGN.md §7
+for the framework.
+"""
+
+from repro.analysis.lifelint.rules import (
+    LIFELINT_PASS,
+    RULES,
+    RULES_BY_ID,
+    check_module,
+)
+
+__all__ = ["LIFELINT_PASS", "RULES", "RULES_BY_ID", "check_module"]

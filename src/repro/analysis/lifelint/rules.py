@@ -1,0 +1,567 @@
+"""lifelint: resource-lifecycle checks for the shm/pool substrate (RES3xx).
+
+The parallel engine's substrate acquires resources whose leaks outlive the
+process: ``multiprocessing.shared_memory`` segments persist in ``/dev/shm``
+until unlinked, executors hold worker processes, and payloads crossing the
+process boundary must pickle.  The runtime defenses (refcounted
+``SegmentRegistry``, finalizer backstops, the post-suite ``/dev/shm`` sweep)
+catch leaks only on the interleavings the tests happen to run; these rules
+check the *acquire/release shape* of every function statically.
+
+The rules are flow-aware but deliberately local (one function at a time,
+names only -- no aliasing across calls, no inter-procedural paths):
+
+* **RES301** a ``SharedMemory(create=True, ...)`` binding must be followed
+  by a ``try`` whose handler/finally releases it (``.close()`` /
+  ``.unlink()``), an inline release, or an immediate ownership handoff
+  (returned / passed to a call / stored on an object) before any other use
+  -- otherwise an exception between creation and handoff leaks the segment.
+* **RES302** ``unlink()`` through an attaching (non-owner) mapping --
+  ``SharedMemory(name=...)`` without ``create=True`` or ``*.attach(...)`` --
+  destroys a segment the caller does not own.
+* **RES303** subscript writes through an attached mapping's buffer (or a
+  view built over it) mutate shared state; attach-side views are read-only
+  by contract.
+* **RES304** a locally bound executor (``WorkerPool`` /
+  ``ProcessPoolExecutor`` / ``ThreadPoolExecutor``) with no ``with``, no
+  ``.shutdown()`` and no ownership handoff leaks its workers.
+* **RES305** submitting a lambda or a locally defined function/class across
+  the process boundary (``.submit`` / ``.map`` / ``.apply_async``) fails to
+  pickle at runtime; payloads must be module-level.
+* **RES306** a ``.acquire(...)`` statement in a function with no
+  ``.release(`` anywhere leaks the refcount on every path.
+
+Sanctioned idioms these rules stay silent on (see ``engine/shm.py`` and
+``engine/parallel.py``): create-then-``try`` with a ``BaseException``
+handler that closes and unlinks; ``self._pool = WorkerPool(...)`` (the
+owner object's ``shutdown`` releases it); ``registry.acquire`` bracketed by
+release calls in ``except``/``finally``; module-level worker functions.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.framework import (
+    AnalysisPass,
+    Finding,
+    PassScanner,
+    Rule,
+    register_pass,
+)
+
+__all__ = ["LIFELINT_PASS", "RULES", "RULES_BY_ID", "check_module"]
+
+RULES: Tuple[Rule, ...] = (
+    Rule(
+        "RES301",
+        "shm-create-leak",
+        "a created SharedMemory segment used before any guarded release "
+        "or ownership handoff leaks /dev/shm space (beyond process "
+        "lifetime) if the in-between code raises",
+    ),
+    Rule(
+        "RES302",
+        "attach-side-unlink",
+        "unlink() through an attached (non-owner) mapping destroys a "
+        "segment other processes still use; only the owning process may "
+        "unlink, exactly once",
+    ),
+    Rule(
+        "RES303",
+        "attached-view-write",
+        "writes through an attached shm buffer (or a view over it) mutate "
+        "state shared with every sibling worker; attach-side views are "
+        "read-only by contract",
+    ),
+    Rule(
+        "RES304",
+        "executor-leak",
+        "a locally created executor/WorkerPool with no `with`, no "
+        "shutdown() and no handoff leaks its worker processes on every "
+        "path",
+    ),
+    Rule(
+        "RES305",
+        "unpicklable-submit",
+        "lambdas and locally defined functions/classes cannot pickle "
+        "across the process boundary; submit module-level callables",
+    ),
+    Rule(
+        "RES306",
+        "acquire-release-imbalance",
+        "an acquire() with no release() anywhere in the function leaks "
+        "the refcount (and with it the resource) on every path",
+    ),
+)
+
+RULES_BY_ID: Dict[str, Rule] = {rule.rule_id: rule for rule in RULES}
+
+_EXECUTOR_TYPES = frozenset(
+    {"ProcessPoolExecutor", "ThreadPoolExecutor", "WorkerPool"}
+)
+_SUBMIT_METHODS = frozenset({"submit", "map", "apply_async", "starmap"})
+_SHM_RELEASE_METHODS = frozenset({"close", "unlink"})
+
+
+def _call_tail(node: ast.AST) -> Optional[str]:
+    """Last component of the called name: ``f`` for ``f(...)`` / ``a.b.f(...)``."""
+    if not isinstance(node, ast.Call):
+        return None
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _kw_true(node: ast.Call, name: str) -> bool:
+    for keyword in node.keywords:
+        if (
+            keyword.arg == name
+            and isinstance(keyword.value, ast.Constant)
+            and keyword.value.value is True
+        ):
+            return True
+    return False
+
+
+def _is_shm_create(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and _call_tail(node) == "SharedMemory"
+        and _kw_true(node, "create")
+    )
+
+
+def _is_shm_attach(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    tail = _call_tail(node)
+    if tail == "SharedMemory" and not _kw_true(node, "create"):
+        return True
+    return tail == "attach"
+
+
+def _is_executor_create(node: ast.AST) -> bool:
+    return isinstance(node, ast.Call) and _call_tail(node) in _EXECUTOR_TYPES
+
+
+def _uses_name(node: ast.AST, name: str) -> bool:
+    return any(
+        isinstance(sub, ast.Name) and sub.id == name for sub in ast.walk(node)
+    )
+
+
+def _release_calls(node: ast.AST, name: str, methods: frozenset) -> bool:
+    """Whether ``node`` contains ``name.<method>()`` for any of ``methods``."""
+    for sub in ast.walk(node):
+        if (
+            isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Attribute)
+            and sub.func.attr in methods
+            and isinstance(sub.func.value, ast.Name)
+            and sub.func.value.id == name
+        ):
+            return True
+    return False
+
+
+def _is_handoff(stmt: ast.stmt, name: str) -> bool:
+    """Whether ``stmt`` transfers ownership of ``name`` out of the function.
+
+    Passing the object to a call (a constructor, a registry, ``weakref.
+    finalize``), returning/yielding it, or storing it on an object/container
+    all hand the release obligation to the receiver.
+    """
+    if isinstance(stmt, (ast.Return,)) and stmt.value is not None:
+        if _uses_name(stmt.value, name):
+            return True
+    for sub in ast.walk(stmt):
+        if isinstance(sub, ast.Call):
+            args = list(sub.args) + [kw.value for kw in sub.keywords]
+            receiver = sub.func.value if isinstance(sub.func, ast.Attribute) else None
+            if any(_uses_name(arg, name) for arg in args):
+                return True
+            if receiver is not None and not (
+                isinstance(receiver, ast.Name) and receiver.id == name
+            ) and _uses_name(receiver, name):
+                return True
+        if isinstance(sub, (ast.Yield, ast.YieldFrom)) and sub.value is not None:
+            if _uses_name(sub.value, name):
+                return True
+        if isinstance(sub, ast.Assign):
+            for target in sub.targets:
+                if isinstance(target, (ast.Attribute, ast.Subscript)) and _uses_name(
+                    sub.value, name
+                ):
+                    return True
+    return False
+
+
+def _guarded_release(try_stmt: ast.Try, name: str) -> bool:
+    """Whether a ``try`` releases ``name`` in a handler or ``finally``."""
+    for handler in try_stmt.handlers:
+        for stmt in handler.body:
+            if _release_calls(stmt, name, _SHM_RELEASE_METHODS):
+                return True
+    for stmt in try_stmt.finalbody:
+        if _release_calls(stmt, name, _SHM_RELEASE_METHODS):
+            return True
+    return False
+
+
+def _function_statements(func: ast.AST) -> List[ast.stmt]:
+    """Every statement in ``func``'s own body, nested defs excluded."""
+    collected: List[ast.stmt] = []
+
+    def walk(stmts: List[ast.stmt]) -> None:
+        for stmt in stmts:
+            if isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            collected.append(stmt)
+            # Recurse through compound-statement blocks only.
+            for field_name in ("body", "orelse", "finalbody"):
+                walk(getattr(stmt, field_name, []) or [])
+            for handler in getattr(stmt, "handlers", []) or []:
+                walk(handler.body)
+
+    walk(func.body)
+    return collected
+
+
+def _function_nodes(func: ast.AST) -> List[ast.AST]:
+    """Every AST node under ``func``, nested def/class subtrees excluded.
+
+    Expression-level checks iterate this flat list so each node is seen
+    exactly once (walking every statement in :func:`_function_statements`
+    would re-visit nodes nested inside compound statements).
+    """
+    collected: List[ast.AST] = []
+    pending: List[ast.AST] = list(ast.iter_child_nodes(func))
+    while pending:
+        node = pending.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        collected.append(node)
+        pending.extend(ast.iter_child_nodes(node))
+    return collected
+
+
+class _FunctionChecker:
+    """All lifecycle checks for one function body."""
+
+    def __init__(self, func: ast.AST, path: str, findings: List[Finding]) -> None:
+        self.func = func
+        self.path = path
+        self.findings = findings
+        self.statements = _function_statements(func)
+        self.nodes = _function_nodes(func)
+        #: Locally bound resource flavors: name -> "create" | "attach".
+        self.shm_flavor: Dict[str, str] = {}
+        #: Names aliasing an attached mapping's buffer or a view over it.
+        self.attached_views: Set[str] = set()
+        #: Locally defined (unpicklable cross-process) callables/classes.
+        self.local_defs: Set[str] = {
+            stmt.name
+            for stmt in ast.walk(self.func)
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef))
+            and stmt is not self.func
+        }
+
+    def run(self) -> None:
+        self._bind_flavors()
+        self._check_shm_create_leaks()
+        self._check_attach_side_unlink()
+        self._check_attached_view_writes()
+        self._check_executor_leaks()
+        self._check_submissions()
+        self._check_acquire_release()
+
+    def _report(self, rule: str, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            Finding(rule, self.path, getattr(node, "lineno", 1), message)
+        )
+
+    # ------------------------------------------------------------ binding --
+    def _bind_flavors(self) -> None:
+        for stmt in self.statements:
+            for name, value in self._simple_binds(stmt):
+                if _is_shm_create(value):
+                    self.shm_flavor[name] = "create"
+                elif _is_shm_attach(value):
+                    self.shm_flavor[name] = "attach"
+                elif self._is_attached_buffer(value):
+                    self.attached_views.add(name)
+
+    @staticmethod
+    def _simple_binds(stmt: ast.stmt) -> List[Tuple[str, ast.AST]]:
+        pairs: List[Tuple[str, ast.AST]] = []
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    pairs.append((target.id, stmt.value))
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            if isinstance(stmt.target, ast.Name):
+                pairs.append((stmt.target.id, stmt.value))
+        return pairs
+
+    def _is_attached_buffer(self, value: ast.AST) -> bool:
+        """``x.buf`` of an attach-bound name, or a view built over one."""
+        if (
+            isinstance(value, ast.Attribute)
+            and value.attr == "buf"
+            and isinstance(value.value, ast.Name)
+            and self.shm_flavor.get(value.value.id) == "attach"
+        ):
+            return True
+        if isinstance(value, ast.Call):
+            for keyword in value.keywords:
+                if keyword.arg == "buffer" and self._references_attached(keyword.value):
+                    return True
+        return False
+
+    def _references_attached(self, node: ast.AST) -> bool:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Name) and (
+                sub.id in self.attached_views
+            ):
+                return True
+            if (
+                isinstance(sub, ast.Attribute)
+                and sub.attr == "buf"
+                and isinstance(sub.value, ast.Name)
+                and self.shm_flavor.get(sub.value.id) == "attach"
+            ):
+                return True
+        return False
+
+    # ------------------------------------------------------------- RES301 --
+    def _check_shm_create_leaks(self) -> None:
+        self._scan_block_for_creates(getattr(self.func, "body", []))
+
+    def _scan_block_for_creates(self, stmts: List[ast.stmt]) -> None:
+        for index, stmt in enumerate(stmts):
+            if isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            for name, value in self._simple_binds(stmt):
+                if _is_shm_create(value):
+                    self._judge_create(name, stmt, stmts[index + 1:])
+            for field_name in ("body", "orelse", "finalbody"):
+                self._scan_block_for_creates(getattr(stmt, field_name, []) or [])
+            for handler in getattr(stmt, "handlers", []) or []:
+                self._scan_block_for_creates(handler.body)
+
+    def _judge_create(
+        self, name: str, create_stmt: ast.stmt, rest: List[ast.stmt]
+    ) -> None:
+        for stmt in rest:
+            if isinstance(stmt, ast.Try):
+                if _guarded_release(stmt, name):
+                    return  # the sanctioned create-then-guarded-try idiom
+                if _uses_name(stmt, name):
+                    break  # used under a try that never releases: leak path
+                continue
+            if isinstance(stmt, ast.With):
+                if _uses_name(stmt, name):
+                    return  # context-managed (or handed to one)
+                continue
+            if _release_calls(stmt, name, _SHM_RELEASE_METHODS):
+                return  # inline linear release
+            if any(
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr == "finalize"
+                and any(_uses_name(arg, name) for arg in sub.args)
+                for sub in ast.walk(stmt)
+            ):
+                return  # weakref.finalize backstop registered
+            if _uses_name(stmt, name):
+                if _is_handoff(stmt, name):
+                    return  # ownership transferred before anything can raise
+                break  # some other use first: a raise in it leaks the segment
+        self._report(
+            "RES301",
+            create_stmt,
+            f"SharedMemory segment `{name}` is created but not released on "
+            "the exception path: wrap the follow-up work in try/except "
+            "(closing and unlinking in the handler) or hand the segment off "
+            "immediately",
+        )
+
+    # ------------------------------------------------------------- RES302 --
+    def _check_attach_side_unlink(self) -> None:
+        for sub in self.nodes:
+            if not (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr == "unlink"
+            ):
+                continue
+            receiver = sub.func.value
+            attached = (
+                isinstance(receiver, ast.Name)
+                and self.shm_flavor.get(receiver.id) == "attach"
+            ) or _is_shm_attach(receiver)
+            if attached:
+                self._report(
+                    "RES302",
+                    sub,
+                    "unlink() through an attached (non-owner) mapping; "
+                    "only the owning process may unlink a segment, "
+                    "exactly once",
+                )
+
+    # ------------------------------------------------------------- RES303 --
+    def _check_attached_view_writes(self) -> None:
+        for sub in self.nodes:
+            if not (
+                isinstance(sub, ast.Subscript)
+                and isinstance(sub.ctx, (ast.Store, ast.Del))
+            ):
+                continue
+            base = sub.value
+            attached = (
+                isinstance(base, ast.Name) and base.id in self.attached_views
+            ) or (
+                isinstance(base, ast.Attribute)
+                and base.attr == "buf"
+                and isinstance(base.value, ast.Name)
+                and self.shm_flavor.get(base.value.id) == "attach"
+            )
+            if attached:
+                self._report(
+                    "RES303",
+                    sub,
+                    "write through an attached shm view; attach-side "
+                    "buffers are read-only by contract (the owner wrote "
+                    "them before publishing)",
+                )
+
+    # ------------------------------------------------------------- RES304 --
+    def _check_executor_leaks(self) -> None:
+        with_names: Set[str] = set()
+        with_exprs: List[ast.AST] = []
+        for stmt in self.statements:
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                for item in stmt.items:
+                    with_exprs.append(item.context_expr)
+                    if isinstance(item.optional_vars, ast.Name):
+                        with_names.add(item.optional_vars.id)
+        for stmt in self.statements:
+            for name, value in self._simple_binds(stmt):
+                if not _is_executor_create(value):
+                    continue
+                if name in with_names:
+                    continue
+                released = any(
+                    _release_calls(other, name, frozenset({"shutdown"}))
+                    for other in self.statements
+                )
+                handed_off = any(
+                    _is_handoff(other, name)
+                    for other in self.statements
+                    if other is not stmt
+                )
+                managed = any(_uses_name(expr, name) for expr in with_exprs)
+                if not (released or handed_off or managed):
+                    self._report(
+                        "RES304",
+                        stmt,
+                        f"executor `{name}` is created but never shut down: "
+                        "use `with`, call .shutdown(), or hand ownership to "
+                        "an object that does",
+                    )
+
+    # ------------------------------------------------------------- RES305 --
+    def _check_submissions(self) -> None:
+        for sub in self.nodes:
+            if not (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr in _SUBMIT_METHODS
+            ):
+                continue
+            for arg in list(sub.args) + [kw.value for kw in sub.keywords]:
+                if isinstance(arg, ast.Lambda):
+                    self._report(
+                        "RES305",
+                        arg,
+                        "lambda submitted across the process boundary "
+                        "cannot pickle; use a module-level function",
+                    )
+                elif isinstance(arg, ast.Name) and arg.id in self.local_defs:
+                    self._report(
+                        "RES305",
+                        arg,
+                        f"locally defined `{arg.id}` submitted across "
+                        "the process boundary cannot pickle; define it "
+                        "at module level",
+                    )
+
+    # ------------------------------------------------------------- RES306 --
+    def _check_acquire_release(self) -> None:
+        has_release = any(
+            isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Attribute)
+            and sub.func.attr == "release"
+            for sub in self.nodes
+        )
+        if has_release:
+            return
+        for stmt in self.statements:
+            if not isinstance(stmt, ast.Expr):
+                continue
+            call = stmt.value
+            if (
+                isinstance(call, ast.Call)
+                and isinstance(call.func, ast.Attribute)
+                and call.func.attr == "acquire"
+            ):
+                self._report(
+                    "RES306",
+                    call,
+                    "acquire() with no release() anywhere in this function "
+                    "leaks the refcount on every path; bracket the work with "
+                    "try/finally release",
+                )
+
+
+def check_tree(tree: ast.Module, path: str, module_name: str = "") -> List[Finding]:
+    """All lifecycle findings for one parsed module."""
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            _FunctionChecker(node, path, findings).run()
+    return sorted(findings, key=lambda f: (f.line, f.rule))
+
+
+def check_module(source: str, path: str, module_name: str = "") -> List[Finding]:
+    return check_tree(ast.parse(source, filename=path), path, module_name)
+
+
+class _Scanner(PassScanner):
+    def check(
+        self, tree: ast.Module, source: str, path: str, module_name: str
+    ) -> List[Finding]:
+        return check_tree(tree, path, module_name)
+
+
+LIFELINT_PASS = register_pass(
+    AnalysisPass(
+        name="lifelint",
+        description=(
+            "resource lifecycles in the shm/pool substrate: guarded segment "
+            "release, owner-only unlink, read-only attach views, executor "
+            "shutdown, picklable cross-process payloads"
+        ),
+        rules=RULES,
+        scanner=_Scanner,
+    )
+)

@@ -102,7 +102,7 @@ import sys
 import warnings
 from typing import List, Optional, Sequence
 
-from repro.analysis.detlint import run as run_detlint
+from repro.analysis.framework import run as run_analysis
 
 from repro.engine import AUTO_TRACE_ROOT, ParallelRunner, ResultCache
 from repro.experiments.configs import TABLE3_CONFIGURATIONS
@@ -509,12 +509,14 @@ def cmd_figure(args: argparse.Namespace) -> str:
 
 
 def cmd_analyze(args: argparse.Namespace) -> str:
-    """``analyze``: the determinism lint (:mod:`repro.analysis.detlint`).
+    """``analyze``: the static-analysis passes (:mod:`repro.analysis.framework`).
 
-    Exit codes follow the lint (0 clean, 1 fresh findings, 2 scan errors);
-    the report ends with the usual ``[detlint] ...`` footer.
+    ``--pass`` selects detlint / parlint / lifelint / all.  Exit codes follow
+    the framework (0 clean, 1 fresh findings, 2 scan errors); the report ends
+    with one ``[<pass>] ...`` footer per selected pass.
     """
     argv: List[str] = list(args.paths)
+    argv.extend(["--pass", args.pass_name])
     if args.strict:
         argv.append("--strict")
     if args.baseline:
@@ -523,11 +525,13 @@ def cmd_analyze(args: argparse.Namespace) -> str:
         argv.append("--no-baseline")
     if args.write_baseline:
         argv.append("--write-baseline")
+    if args.prune_baseline:
+        argv.append("--prune-baseline")
     if args.list_rules:
         argv.append("--list-rules")
     argv.extend(["--format", args.format])
     buffer = io.StringIO()
-    args.exit_code = run_detlint(argv, out=buffer)
+    args.exit_code = run_analysis(argv, out=buffer)
     return buffer.getvalue().rstrip("\n")
 
 
@@ -592,10 +596,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     analyze_parser = subparsers.add_parser(
         "analyze",
-        help="determinism lint: static checks guarding the bit-identity contract",
+        help="static analysis: determinism, kernel-twin and resource-lifecycle checks",
     )
     analyze_parser.add_argument(
         "paths", nargs="*", default=["src"], help="files or trees to scan (default: src)"
+    )
+    analyze_parser.add_argument(
+        "--pass",
+        dest="pass_name",
+        choices=("detlint", "parlint", "lifelint", "all"),
+        default="all",
+        help="which analysis pass to run (default: all)",
     )
     analyze_parser.add_argument(
         "--strict", action="store_true", help="ignore the baseline (CI mode)"
@@ -603,7 +614,14 @@ def build_parser() -> argparse.ArgumentParser:
     analyze_parser.add_argument("--baseline", metavar="FILE", default=None)
     analyze_parser.add_argument("--no-baseline", action="store_true")
     analyze_parser.add_argument("--write-baseline", action="store_true")
-    analyze_parser.add_argument("--format", choices=("text", "json"), default="text")
+    analyze_parser.add_argument(
+        "--prune-baseline",
+        action="store_true",
+        help="drop baseline entries that no longer match any finding",
+    )
+    analyze_parser.add_argument(
+        "--format", choices=("text", "json", "github"), default="text"
+    )
     analyze_parser.add_argument("--list-rules", action="store_true")
     analyze_parser.set_defaults(handler=cmd_analyze)
 

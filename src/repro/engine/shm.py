@@ -264,7 +264,7 @@ class SharedTraceSegment:
         if not self.owner:
             raise RuntimeError(f"segment {self.name!r} is attached, not owned; not unlinking")
         try:
-            _shared_memory.SharedMemory(name=self.name).unlink()
+            _shared_memory.SharedMemory(name=self.name).unlink()  # lifelint: ok RES302 (owner guard above; re-open by name is how the owner unlinks after close)
         except FileNotFoundError:
             pass
 

@@ -282,7 +282,7 @@ class TestCompiledSpecs:
 
     def test_unknown_form_rejected(self):
         with pytest.raises(ValueError, match="unknown compiled-steering form"):
-            CompiledSteeringSpec(form="magic")
+            CompiledSteeringSpec(form="magic")  # parlint: ok PAR203 (deliberately invalid form; the test asserts rejection)
 
     def test_constant_out_of_range_rejected(self):
         class Bad(_CallbackOnlySteering):

@@ -1,0 +1,302 @@
+"""lifelint: the resource-lifecycle rules (RES3xx).
+
+Contracts pinned here:
+
+* **Every rule fires on its minimal leak** at the exact line and stays
+  silent on the sanctioned idiom next to it (create-then-guarded-try,
+  owner-side unlink, ``with`` executors, module-level worker payloads,
+  acquire bracketed by release).
+* **The acceptance mutation**: stripping the release calls out of the
+  ``except BaseException`` guard in a copy of the real ``engine/shm.py``
+  makes RES301 fire at the segment-creation line while the pristine copy
+  scans clean.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.framework import get_pass, scan_paths
+from repro.analysis.lifelint.rules import RULES, RULES_BY_ID, check_module
+
+REPO = Path(__file__).resolve().parent.parent
+
+SHM_IMPORT = "from multiprocessing.shared_memory import SharedMemory\n\n\n"
+POOL_IMPORT = "from concurrent.futures import ProcessPoolExecutor\n\n\n"
+
+
+class Case:
+    """One rule's minimal leak and its sanctioned counterpart."""
+
+    def __init__(self, rule, bad, bad_line, good, path="pkg/mod.py", module="pkg.mod"):
+        self.rule = rule
+        self.bad = bad
+        self.bad_line = bad_line
+        self.good = good
+        self.path = path
+        self.module = module
+
+    def __repr__(self):
+        return self.rule
+
+
+CASES = [
+    # A created segment used before any guard or handoff: an exception in
+    # the in-between code leaks /dev/shm space.
+    Case(
+        "RES301",
+        bad=SHM_IMPORT
+        + "def make_segment(payload):\n"
+        "    shm = SharedMemory(create=True, size=64)\n"
+        "    shm.buf[: len(payload)] = payload\n"
+        "    return shm\n",
+        bad_line=5,
+        good=SHM_IMPORT
+        + "def make_segment(payload):\n"
+        "    shm = SharedMemory(create=True, size=64)\n"
+        "    try:\n"
+        "        shm.buf[: len(payload)] = payload\n"
+        "    except BaseException:\n"
+        "        shm.close()\n"
+        "        shm.unlink()\n"
+        "        raise\n"
+        "    return shm\n",
+    ),
+    # ... but an immediate ownership handoff transfers the obligation.
+    Case(
+        "RES301",
+        bad=SHM_IMPORT
+        + "def make_segment():\n"
+        "    shm = SharedMemory(create=True, size=64)\n"
+        "    size = shm.size\n",
+        bad_line=5,
+        good=SHM_IMPORT
+        + "def make_segment(registry):\n"
+        "    shm = SharedMemory(create=True, size=64)\n"
+        "    registry.adopt(shm)\n"
+        "    return shm.size\n",
+    ),
+    # unlink() through an attached (non-owner) mapping.
+    Case(
+        "RES302",
+        bad=SHM_IMPORT
+        + "def scrub(name):\n"
+        "    shm = SharedMemory(name=name)\n"
+        "    shm.close()\n"
+        "    shm.unlink()\n",
+        bad_line=7,
+        good=SHM_IMPORT
+        + "def scrub(name):\n"
+        "    shm = SharedMemory(name=name, create=True)\n"
+        "    shm.close()\n"
+        "    shm.unlink()\n",
+    ),
+    # ... including the chained re-open form.
+    Case(
+        "RES302",
+        bad=SHM_IMPORT
+        + "def scrub(name):\n"
+        "    SharedMemory(name=name).unlink()\n",
+        bad_line=5,
+        good="from pathlib import Path\n\n\n"
+        "def scrub(name):\n"
+        "    Path(name).unlink()\n",
+    ),
+    # Writes through an attached view (directly or via an alias).
+    Case(
+        "RES303",
+        bad=SHM_IMPORT
+        + "def poke(name, value):\n"
+        "    shm = SharedMemory(name=name)\n"
+        "    view = shm.buf\n"
+        "    view[0] = value\n",
+        bad_line=7,
+        good=SHM_IMPORT
+        + "def poke(name, value):\n"
+        "    shm = SharedMemory(create=True, size=64)\n"
+        "    try:\n"
+        "        view = shm.buf\n"
+        "        view[0] = value\n"
+        "    except BaseException:\n"
+        "        shm.close()\n"
+        "        shm.unlink()\n"
+        "        raise\n"
+        "    return shm\n",
+    ),
+    Case(
+        "RES303",
+        bad=SHM_IMPORT
+        + "import numpy as np\n\n\n"
+        "def poke(name, value):\n"
+        "    shm = SharedMemory(name=name)\n"
+        "    array = np.ndarray(8, buffer=shm.buf)\n"
+        "    array[0] = value\n",
+        bad_line=10,
+        good=SHM_IMPORT
+        + "import numpy as np\n\n\n"
+        "def peek(name):\n"
+        "    shm = SharedMemory(name=name)\n"
+        "    array = np.ndarray(8, buffer=shm.buf)\n"
+        "    return array[0]\n",
+    ),
+    # A locally bound executor with no with/shutdown/handoff.
+    Case(
+        "RES304",
+        bad=POOL_IMPORT
+        + "def run_tasks(tasks):\n"
+        "    pool = ProcessPoolExecutor(2)\n"
+        "    futures = [pool.submit(task) for task in tasks]\n"
+        "    return [f.result() for f in futures]\n",
+        bad_line=5,
+        good=POOL_IMPORT
+        + "def run_tasks(tasks):\n"
+        "    with ProcessPoolExecutor(2) as pool:\n"
+        "        futures = [pool.submit(task) for task in tasks]\n"
+        "        return [f.result() for f in futures]\n",
+    ),
+    Case(
+        "RES304",
+        bad="def start(config):\n"
+        "    pool = WorkerPool(config.workers)\n"
+        "    pool.submit(config.task)\n",
+        bad_line=2,
+        good="def start(config):\n"
+        "    pool = WorkerPool(config.workers)\n"
+        "    try:\n"
+        "        pool.submit(config.task)\n"
+        "    finally:\n"
+        "        pool.shutdown()\n",
+    ),
+    # Unpicklable payloads crossing the process boundary.
+    Case(
+        "RES305",
+        bad="def run_inline(pool, values):\n"
+        "    return pool.submit(lambda: sum(values))\n",
+        bad_line=2,
+        good="def _work(values):\n"
+        "    return sum(values)\n"
+        "\n"
+        "\n"
+        "def run_inline(pool, values):\n"
+        "    return pool.submit(_work, values)\n",
+    ),
+    Case(
+        "RES305",
+        bad="def run_inline(pool, values):\n"
+        "    def work():\n"
+        "        return sum(values)\n"
+        "    return pool.submit(work)\n",
+        bad_line=4,
+        good="def _work(values):\n"
+        "    return sum(values)\n"
+        "\n"
+        "\n"
+        "def run_inline(pool, values):\n"
+        "    return pool.map(_work, values)\n",
+    ),
+    # acquire() with no release() anywhere in the function.
+    Case(
+        "RES306",
+        bad="def hold(registry, key):\n"
+        "    registry.acquire(key)\n"
+        "    return registry.snapshot()\n",
+        bad_line=2,
+        good="def hold(registry, key):\n"
+        "    registry.acquire(key)\n"
+        "    try:\n"
+        "        return registry.snapshot()\n"
+        "    finally:\n"
+        "        registry.release(key)\n",
+    ),
+]
+
+
+@pytest.mark.parametrize("case", CASES, ids=lambda c: f"{c.rule}-{c.bad_line}")
+class TestRuleCases:
+    def test_fires_on_leak_at_exact_line(self, case):
+        findings = check_module(case.bad, case.path, case.module)
+        hits = [f for f in findings if f.rule == case.rule]
+        assert hits, f"{case.rule} did not fire on:\n{case.bad}"
+        assert hits[0].line == case.bad_line
+        assert hits[0].path == case.path
+
+    def test_silent_on_sanctioned_idiom(self, case):
+        findings = check_module(case.good, case.path, case.module)
+        assert [f for f in findings if f.rule == case.rule] == [], (
+            f"{case.rule} fired on the sanctioned idiom:\n{case.good}"
+        )
+
+
+class TestScopeBoundaries:
+    def test_attribute_bound_executor_is_the_owners_problem(self):
+        source = (
+            "class Engine:\n"
+            "    def start(self):\n"
+            "        self._pool = WorkerPool(2)\n"
+        )
+        assert check_module(source, "m.py") == []
+
+    def test_module_level_create_is_out_of_scope(self):
+        # lifelint reasons per function; module-level segments are owned by
+        # the process and are the /dev/shm sweep's job.
+        source = SHM_IMPORT + "SEGMENT = SharedMemory(create=True, size=64)\n"
+        assert check_module(source, "m.py") == []
+
+    def test_weakref_finalize_counts_as_a_release_plan(self):
+        source = SHM_IMPORT + (
+            "import weakref\n\n\n"
+            "def make_segment():\n"
+            "    shm = SharedMemory(create=True, size=64)\n"
+            "    weakref.finalize(shm, print)\n"
+            "    return shm\n"
+        )
+        assert [f.rule for f in check_module(source, "m.py")] == []
+
+
+class TestRealShmMutation:
+    """The acceptance mutation: real engine/shm.py, gutted exception guard."""
+
+    REL = "src/repro/engine/shm.py"
+
+    def _scan(self, tmp_path, source):
+        target = tmp_path / self.REL
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source)
+        return scan_paths([tmp_path], passes=(get_pass("lifelint"),))
+
+    def test_pristine_shm_module_scans_clean(self, tmp_path):
+        result = self._scan(tmp_path, (REPO / self.REL).read_text())
+        assert result.errors == []
+        assert [i.finding.render() for i in result.fresh] == []
+
+    def test_gutting_the_create_guard_fires_res301_at_the_create_line(
+        self, tmp_path
+    ):
+        source = (REPO / self.REL).read_text()
+        guard = (
+            "        except BaseException:\n"
+            "            shm.close()\n"
+            "            shm.unlink()\n"
+            "            raise\n"
+        )
+        assert source.count(guard) == 1
+        mutated = source.replace(
+            guard, "        except BaseException:\n            raise\n"
+        )
+        result = self._scan(tmp_path, mutated)
+        hits = [i.finding for i in result.fresh if i.finding.rule == "RES301"]
+        assert len(hits) == 1
+        create_line = next(
+            number
+            for number, text in enumerate(mutated.splitlines(), start=1)
+            if "SharedMemory(create=True" in text
+        )
+        assert hits[0].line == create_line
+
+
+class TestRuleTable:
+    def test_rule_table_is_complete(self):
+        assert [rule.rule_id for rule in RULES] == sorted(RULES_BY_ID)
+        assert len(RULES) == 6

@@ -55,7 +55,7 @@ class TestConfigurationSpecs:
     def test_pickle_and_hash(self):
         for configuration in self.all_configurations():
             assert pickle.loads(pickle.dumps(configuration)) == configuration
-            assert hash(configuration) == hash(pickle.loads(pickle.dumps(configuration)))  # detlint: ok DET108
+            assert hash(configuration) == hash(pickle.loads(pickle.dumps(configuration)))  # detlint: ok DET108 (hash equality of equal objects holds under any seed)
 
     def test_string_shorthand_is_table3(self):
         assert SteeringConfiguration.from_dict("VC") == TABLE3_CONFIGURATIONS["VC"]
@@ -65,7 +65,7 @@ class TestConfigurationSpecs:
     def test_dict_params_normalise_to_frozen_form(self):
         a = SteeringConfiguration(name="x", policy="static", policy_params={"name": "OB"})
         b = SteeringConfiguration(name="x", policy="static", policy_params=(("name", "OB"),))
-        assert a == b and hash(a) == hash(b)  # detlint: ok DET108
+        assert a == b and hash(a) == hash(b)  # detlint: ok DET108 (hash equality of equal objects holds under any seed)
 
     def test_unknown_fields_rejected(self):
         with pytest.raises(ValueError, match="unknown configuration fields"):
@@ -75,7 +75,7 @@ class TestConfigurationSpecs:
         config = SteeringConfiguration(
             name="x", policy="OP", policy_params={"weights": [1, [2, 3]]}
         )
-        assert hash(config)  # detlint: ok DET108
+        assert hash(config)  # detlint: ok DET108 (only asserts hashability, not a specific value)
         assert SteeringConfiguration.from_dict(config.to_dict()) == config
         assert config.to_dict()["policy_params"] == {"weights": [1, [2, 3]]}
 
